@@ -1,0 +1,58 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Every benchmark module reproduces one table or figure of the paper: it runs
+the corresponding generator from :mod:`repro.harness.figures` (timed once via
+pytest-benchmark), prints the regenerated rows, stores headline numbers in
+``benchmark.extra_info`` and asserts the qualitative "shape" of the result
+(who wins, by roughly what factor) so regressions in the protocol
+implementations are caught.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Iterable, Mapping, Sequence
+
+# make `src/` importable when the package is not installed
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Execute *function* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def print_table(title: str, rows: Sequence[Mapping[str, object]]) -> None:
+    """Print a list of dict rows as an aligned table."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
+    columns = list(rows[0].keys())
+    widths = {
+        column: max(len(str(column)), *(len(_fmt(row.get(column))) for row in rows))
+        for column in columns
+    }
+    header = "  ".join(str(column).ljust(widths[column]) for column in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(_fmt(row.get(column)).ljust(widths[column]) for column in columns))
+
+
+def print_mapping(title: str, mapping: Mapping[str, object]) -> None:
+    """Print a flat mapping as ``key: value`` lines."""
+    print(f"\n=== {title} ===")
+    for key, value in mapping.items():
+        print(f"  {key}: {_fmt(value)}")
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

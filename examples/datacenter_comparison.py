@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Compare NDP with MPTCP, DCTCP and DCQCN on a loaded FatTree.
+
+Reproduces a miniature Figure 14: every host in a 16-host FatTree opens one
+long flow to another host (a permutation traffic matrix), and we report the
+network utilization and the per-flow goodput spread achieved by each
+transport after 2 ms of simulated time.
+
+Run with::
+
+    python examples/datacenter_comparison.py
+"""
+
+import random
+
+from repro.harness import experiment
+from repro.harness.baseline_networks import DcqcnNetwork, DctcpNetwork, MptcpNetwork
+from repro.harness.ndp_network import NdpNetwork
+from repro.sim import EventList, units
+from repro.topology import FatTreeTopology
+
+PROTOCOLS = {
+    "NDP": NdpNetwork,
+    "MPTCP": MptcpNetwork,
+    "DCTCP": DctcpNetwork,
+    "DCQCN": DcqcnNetwork,
+}
+
+
+def main() -> None:
+    duration = units.milliseconds(2)
+    print(f"{'protocol':8s} {'utilization':>12s} {'min':>7s} {'median':>7s} {'max':>7s}  (Gb/s per flow)")
+    for name, builder in PROTOCOLS.items():
+        eventlist = EventList()
+        network = builder.build(eventlist, FatTreeTopology, k=4)
+        flows = experiment.start_permutation(
+            network, flow_size_bytes=200_000_000, rng=random.Random(3)
+        )
+        result = experiment.measure_throughput(network, flows, duration)
+        goodputs = result.sorted_goodputs_gbps()
+        print(
+            f"{name:8s} {100 * result.utilization:11.1f}% "
+            f"{goodputs[0]:7.2f} {goodputs[len(goodputs) // 2]:7.2f} {goodputs[-1]:7.2f}"
+        )
+    print("\nNDP spreads every flow across all four core paths, so even the")
+    print("slowest flow stays near line rate; the single-path protocols lose")
+    print("capacity to ECMP collisions exactly as in Figure 14 of the paper.")
+
+
+if __name__ == "__main__":
+    main()

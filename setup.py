@@ -1,0 +1,10 @@
+"""Legacy setuptools entry point.
+
+The project metadata lives in ``pyproject.toml``; this stub exists so the
+package can be installed in editable mode (``pip install -e .``) on
+environments whose setuptools/pip predate PEP 660 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

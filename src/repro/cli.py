@@ -1,0 +1,112 @@
+"""Command-line entry point for regenerating the paper's experiments.
+
+Usage::
+
+    python -m repro.cli list                 # show every available experiment
+    python -m repro.cli fig14                # regenerate Figure 14 and print it
+    python -m repro.cli fig21 fig10          # several experiments in one go
+
+Each experiment name maps to a generator in :mod:`repro.harness.figures`;
+the CLI runs it with its default (laptop-friendly) scale and pretty-prints
+the resulting rows.  The benchmarks in ``benchmarks/`` run the same
+generators with shape assertions; this entry point is for interactive
+exploration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Iterable, Mapping, Sequence
+
+from repro.harness import figures
+
+#: experiment name -> (description, callable)
+EXPERIMENTS: Dict[str, tuple[str, Callable[[], object]]] = {
+    "fig2": ("CP congestion collapse vs the NDP switch", figures.figure2_switch_overload),
+    "fig4": ("delivery latency CDF (permutation/random/incast)", figures.figure4_latency_cdf),
+    "fig8": ("1 KB RPC latency across stacks", figures.figure8_rpc_latency),
+    "fig9": ("7:1 incast on the testbed topology", figures.figure9_testbed_incast),
+    "fig10": ("receiver-side prioritization of a short flow", figures.figure10_prioritization),
+    "fig11": ("throughput vs initial window", figures.figure11_initial_window_throughput),
+    "fig12": ("pull spacing distribution", figures.figure12_pull_spacing),
+    "fig13": ("incast FCT with jittered pulls", figures.figure13_incast_pull_jitter),
+    "fig14": ("permutation throughput across protocols", figures.figure14_permutation_throughput),
+    "fig15": ("90 KB FCT with background load", figures.figure15_short_flow_fct),
+    "fig16": ("incast completion vs number of senders", figures.figure16_incast_scaling),
+    "fig17": ("IW / buffer-size sensitivity", figures.figure17_buffer_sensitivity),
+    "fig19": ("collateral damage of an incast (goodput traces)", figures.figure19_collateral_damage),
+    "fig20": ("very large incasts: overhead and RTX mechanisms", figures.figure20_large_incast),
+    "fig21": ("sender-limited traffic throughput table", figures.figure21_sender_limited),
+    "fig22": ("permutation with a degraded core link", figures.figure22_asymmetry),
+    "fig23": ("oversubscribed fabric, web workload", figures.figure23_oversubscribed_web),
+    "phost": ("NDP vs pHost (no trimming)", figures.phost_comparison),
+    "scaling": ("permutation utilization vs topology size", figures.scaling_utilization),
+    "uplinks": ("where packets get trimmed (load balancing)", figures.uplink_trimming_study),
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the requested experiments and print their results."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli",
+        description="Regenerate experiments from the NDP paper (SIGCOMM 2017).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment names (e.g. fig14), or 'list' to enumerate them",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.experiments or args.experiments == ["list"]:
+        _print_catalogue()
+        return 0
+
+    unknown = [name for name in args.experiments if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        _print_catalogue()
+        return 2
+
+    for name in args.experiments:
+        description, generator = EXPERIMENTS[name]
+        print(f"\n### {name} — {description}")
+        started = time.time()
+        result = generator()
+        elapsed = time.time() - started
+        _print_result(result)
+        print(f"({elapsed:.1f} s)")
+    return 0
+
+
+def _print_catalogue() -> None:
+    print("available experiments:")
+    for name, (description, _fn) in EXPERIMENTS.items():
+        print(f"  {name:8s} {description}")
+
+
+def _print_result(result: object) -> None:
+    if isinstance(result, Mapping):
+        for key, value in result.items():
+            print(f"  {key}: {_summarize(value)}")
+    elif isinstance(result, Iterable) and not isinstance(result, (str, bytes)):
+        for row in result:
+            print(f"  {_summarize(row)}")
+    else:
+        print(f"  {result!r}")
+
+
+def _summarize(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if isinstance(value, Mapping):
+        return "{" + ", ".join(f"{k}: {_summarize(v)}" for k, v in value.items()) + "}"
+    if isinstance(value, list) and len(value) > 8:
+        return f"[{len(value)} values, min={min(value):.2f}, max={max(value):.2f}]"
+    return str(value)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in examples
+    raise SystemExit(main())

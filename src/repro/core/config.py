@@ -1,0 +1,119 @@
+"""Configuration knobs of an NDP deployment.
+
+The paper stresses that NDP has essentially two tunables — the switch buffer
+size and the sender's fixed initial window — plus a handful of structural
+constants (header size, WRR ratio, RTO).  They are collected here so that
+experiments can sweep them (Figures 11, 17 and 20) without touching protocol
+code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim import units
+
+
+@dataclass
+class NdpConfig:
+    """Parameters shared by NDP senders, receivers and switches.
+
+    Attributes
+    ----------
+    mtu_bytes:
+        Maximum data packet size.  The paper uses 9 KB jumbograms by default
+        and 1.5 KB for the MTU sensitivity experiments.
+    header_bytes:
+        Size of a trimmed header and of every control packet (ACK, NACK,
+        PULL).
+    initial_window_packets:
+        Number of packets pushed blindly in the first RTT (IW).  30 is the
+        paper's deployed default; Figures 11/17/20 sweep it.
+    data_queue_packets:
+        Capacity of the low-priority data queue at each switch port, in
+        packets.  Eight is the paper's default.
+    header_queue_bytes:
+        Capacity of the high-priority header/control queue at each switch
+        port, in bytes.  The paper sizes it like the data queue's memory
+        (8 x 9 KB holds 1125 64-byte headers).
+    wrr_headers_per_data:
+        Weighted-round-robin ratio: how many header-queue packets may be sent
+        per data packet when both queues are backlogged (10:1 in the paper).
+    trim_arriving_probability:
+        Probability that the *arriving* packet (rather than the packet at the
+        tail of the data queue) is trimmed on overflow; 0.5 breaks phase
+        effects.
+    return_to_sender:
+        Enable the RTS optimization: when the header queue overflows, bounce
+        the header back to the sender instead of dropping it.
+    rto_ps:
+        Retransmission timeout covering corruption and header loss.  The
+        paper argues 1 ms is safe given the 400 us worst-case RTT.
+    min_rto_ps:
+        Lower bound applied when adaptive RTO estimation is enabled.
+    path_penalty:
+        Enable the path scoreboard that temporarily removes outlier paths
+        (§3.2.3); the Figure 22 ablation turns it off.
+    path_penalty_min_samples:
+        Minimum number of ACK+NACK observations on a path before it can be
+        judged an outlier.
+    path_penalty_nack_ratio:
+        A path is penalized when its NACK fraction exceeds this multiple of
+        the mean NACK fraction across paths.
+    pull_rate_fraction:
+        Fraction of the receiver's link rate at which PULLs are clocked; 1.0
+        paces aggregate arrivals to exactly the link rate.
+    path_selection_mode:
+        ``"permutation"`` for the paper's sender-driven path permutation, or
+        ``"random"`` to model switch-driven per-packet ECMP (the §3.1.1
+        ablation).
+    """
+
+    mtu_bytes: int = units.JUMBO_MTU_BYTES
+    header_bytes: int = units.HEADER_BYTES
+    initial_window_packets: int = 30
+    data_queue_packets: int = 8
+    header_queue_bytes: int = 8 * units.JUMBO_MTU_BYTES
+    wrr_headers_per_data: int = 10
+    trim_arriving_probability: float = 0.5
+    return_to_sender: bool = True
+    rto_ps: int = units.milliseconds(1)
+    min_rto_ps: int = units.microseconds(200)
+    path_penalty: bool = True
+    path_penalty_min_samples: int = 16
+    path_penalty_nack_ratio: float = 2.0
+    pull_rate_fraction: float = 1.0
+    path_selection_mode: str = "permutation"
+
+    def __post_init__(self) -> None:
+        if self.path_selection_mode not in ("permutation", "random"):
+            raise ValueError(
+                f"unknown path_selection_mode {self.path_selection_mode!r}"
+            )
+        if self.mtu_bytes <= self.header_bytes:
+            raise ValueError("mtu_bytes must exceed header_bytes")
+        if self.initial_window_packets < 1:
+            raise ValueError("initial window must be at least one packet")
+        if self.data_queue_packets < 1:
+            raise ValueError("data queue must hold at least one packet")
+        if not 0.0 <= self.trim_arriving_probability <= 1.0:
+            raise ValueError("trim_arriving_probability must be a probability")
+        if self.wrr_headers_per_data < 1:
+            raise ValueError("wrr_headers_per_data must be at least 1")
+        if not 0.0 < self.pull_rate_fraction <= 1.0:
+            raise ValueError("pull_rate_fraction must be in (0, 1]")
+
+    @property
+    def data_queue_bytes(self) -> int:
+        """Data queue capacity expressed in bytes."""
+        return self.data_queue_packets * self.mtu_bytes
+
+    def header_queue_capacity_packets(self) -> int:
+        """How many trimmed headers fit in the header queue."""
+        return self.header_queue_bytes // self.header_bytes
+
+    def with_overrides(self, **overrides: object) -> "NdpConfig":
+        """Return a copy of this configuration with *overrides* applied."""
+        values = {f: getattr(self, f) for f in self.__dataclass_fields__}
+        values.update(overrides)
+        return NdpConfig(**values)  # type: ignore[arg-type]

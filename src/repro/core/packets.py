@@ -1,0 +1,141 @@
+"""NDP packet types.
+
+Four packet types make up the NDP wire protocol (§3.2 of the paper):
+
+* :class:`NdpDataPacket` — carries payload, a packet sequence number, a SYN
+  flag on every first-RTT packet (so connection state can be established by
+  whichever packet arrives first) and a LAST flag on the final packet of a
+  transfer.  Switches may trim it to a bare header.
+* :class:`NdpAck` — sent immediately by the receiver for every data packet
+  that arrives intact, so the sender can free the buffer.
+* :class:`NdpNack` — sent immediately for every trimmed header, telling the
+  sender to queue the packet for retransmission (but not send it yet).
+* :class:`NdpPull` — the receiver-paced clock; carries a per-connection pull
+  counter.  The sender transmits as many packets as the counter advanced by,
+  retransmissions first.
+
+Control packets are 64 bytes and always travel in the switches' high
+priority queue.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.sim.packet import Packet, PacketPriority, Route
+from repro.sim.units import HEADER_BYTES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.sender import NdpSrc
+
+
+class NdpDataPacket(Packet):
+    """A data packet (or, once trimmed, just its header)."""
+
+    __slots__ = ("syn", "last", "payload_bytes", "src_endpoint", "is_retransmit")
+
+    def __init__(
+        self,
+        flow_id: int,
+        src: int,
+        dst: int,
+        seqno: int,
+        payload_bytes: int,
+        header_bytes: int = HEADER_BYTES,
+        syn: bool = False,
+        last: bool = False,
+        src_endpoint: Optional["NdpSrc"] = None,
+        is_retransmit: bool = False,
+    ) -> None:
+        super().__init__(
+            flow_id=flow_id,
+            src=src,
+            dst=dst,
+            size=payload_bytes + header_bytes,
+            seqno=seqno,
+            priority=PacketPriority.LOW,
+        )
+        self.syn = syn
+        self.last = last
+        self.payload_bytes = payload_bytes
+        self.src_endpoint = src_endpoint
+        self.is_retransmit = is_retransmit
+
+
+class NdpControlPacket(Packet):
+    """Common base for ACK / NACK / PULL packets (64 B, high priority)."""
+
+    __slots__ = ("data_path_id",)
+
+    def __init__(
+        self,
+        flow_id: int,
+        src: int,
+        dst: int,
+        seqno: int,
+        data_path_id: int = 0,
+        header_bytes: int = HEADER_BYTES,
+    ) -> None:
+        super().__init__(
+            flow_id=flow_id,
+            src=src,
+            dst=dst,
+            size=header_bytes,
+            seqno=seqno,
+            priority=PacketPriority.HIGH,
+        )
+        #: path the corresponding *data* packet travelled on; lets the sender
+        #: update its path scoreboard.
+        self.data_path_id = data_path_id
+
+    def is_control(self) -> bool:
+        return True
+
+
+class NdpAck(NdpControlPacket):
+    """Acknowledges in-order-independent receipt of one data packet."""
+
+    __slots__ = ()
+
+
+class NdpNack(NdpControlPacket):
+    """Reports that only the trimmed header of ``seqno`` arrived."""
+
+    __slots__ = ()
+
+
+class NdpPull(NdpControlPacket):
+    """Receiver-paced request for the sender to transmit more packets.
+
+    ``pull_counter`` is cumulative: the sender transmits as many packets as
+    the counter advanced since the last PULL it saw, which makes the protocol
+    robust to PULL reordering on the multipath reverse route (§3.2.1).
+    """
+
+    __slots__ = ("pull_counter",)
+
+    def __init__(
+        self,
+        flow_id: int,
+        src: int,
+        dst: int,
+        pull_counter: int,
+        header_bytes: int = HEADER_BYTES,
+    ) -> None:
+        super().__init__(
+            flow_id=flow_id,
+            src=src,
+            dst=dst,
+            seqno=pull_counter,
+            header_bytes=header_bytes,
+        )
+        self.pull_counter = pull_counter
+
+
+def make_route_copy(route: Route) -> Route:
+    """Return *route* itself — routes are immutable and safely shared.
+
+    Exists as an explicit extension point: an implementation that mutated
+    routes per packet (e.g. to model label rewriting) would replace this.
+    """
+    return route

@@ -1,0 +1,209 @@
+"""Sender-side multipath management (§3.1.1 and §3.2.3 of the paper).
+
+Each NDP sender knows every path to its destination.  It walks a random
+permutation of the path list, sending one packet per path, then re-permutes.
+This spreads load more evenly than per-packet random ECMP (the paper measures
+roughly a 10% capacity gain with 8-packet buffers) while avoiding
+synchronization between senders.
+
+The :class:`PathManager` also keeps the *path scoreboard*: per-path counts of
+ACKs, NACKs and losses.  When a path's NACK fraction or loss count is an
+outlier — a failed or downgraded link — it is temporarily excluded from the
+permutation, which is what keeps NDP's throughput high in the Figure 22
+asymmetry experiment.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.packet import Route
+
+
+@dataclass
+class PathScore:
+    """ACK/NACK/loss counters for one path."""
+
+    acks: int = 0
+    nacks: int = 0
+    losses: int = 0
+
+    @property
+    def samples(self) -> int:
+        """Total feedback observations on this path."""
+        return self.acks + self.nacks
+
+    @property
+    def nack_fraction(self) -> float:
+        """Fraction of feedback that was negative (0 when unsampled)."""
+        if self.samples == 0:
+            return 0.0
+        return self.nacks / self.samples
+
+
+class PathManager:
+    """Chooses the path for each outgoing packet.
+
+    Parameters
+    ----------
+    routes:
+        The forward routes available to the destination, one per path.
+    rng:
+        Source of randomness for permutations (seeded by the experiment for
+        reproducibility).
+    penalize:
+        Enable outlier exclusion (the paper's path-penalty mechanism).  With
+        a single path the scoreboard is kept but never excludes anything.
+    min_samples:
+        Minimum feedback observations on a path before it can be judged.
+    nack_ratio:
+        A path is excluded while its NACK fraction exceeds ``nack_ratio``
+        times the mean NACK fraction of all paths (and is non-trivial).
+    mode:
+        ``"permutation"`` (the paper's sender-driven scheme: walk a random
+        permutation, one packet per path, re-permute when exhausted) or
+        ``"random"`` (per-packet random choice, modelling switch-driven
+        per-packet ECMP — the ablation of §3.1.1).
+    """
+
+    def __init__(
+        self,
+        routes: Sequence[Route],
+        rng: Optional[random.Random] = None,
+        penalize: bool = True,
+        min_samples: int = 16,
+        nack_ratio: float = 2.0,
+        mode: str = "permutation",
+    ) -> None:
+        if not routes:
+            raise ValueError("a PathManager needs at least one route")
+        if mode not in ("permutation", "random"):
+            raise ValueError(f"unknown path selection mode {mode!r}")
+        self.routes: List[Route] = list(routes)
+        self.rng = rng if rng is not None else random.Random(0)
+        self.mode = mode
+        self.penalize = penalize
+        self.min_samples = min_samples
+        self.nack_ratio = nack_ratio
+        self.scores: Dict[int, PathScore] = {
+            route.path_id: PathScore() for route in self.routes
+        }
+        self._by_path_id: Dict[int, Route] = {r.path_id: r for r in self.routes}
+        self._permutation: List[Route] = []
+        self._position = 0
+        self.permutations_generated = 0
+        self.currently_excluded: List[int] = []
+
+    def set_routes(self, routes: Sequence[Route]) -> None:
+        """Replace the route set (keeps any existing per-path scores).
+
+        Used when routes must be finalized after construction, e.g. once the
+        destination endpoint exists and can be appended to each fabric path.
+        """
+        if not routes:
+            raise ValueError("a PathManager needs at least one route")
+        self.routes = list(routes)
+        for route in self.routes:
+            self.scores.setdefault(route.path_id, PathScore())
+        self._by_path_id = {route.path_id: route for route in self.routes}
+        self._permutation = []
+        self._position = 0
+
+    # --- path selection -------------------------------------------------------
+
+    def next_route(self) -> Route:
+        """Return the route to use for the next packet."""
+        if self.mode == "random":
+            return self.rng.choice(self._usable_routes())
+        if self._position >= len(self._permutation):
+            self._generate_permutation()
+        route = self._permutation[self._position]
+        self._position += 1
+        return route
+
+    def route_for_path(self, path_id: int) -> Route:
+        """Look up the route with a given path identifier."""
+        return self._by_path_id[path_id]
+
+    def alternative_route(self, avoid_path_id: int) -> Route:
+        """A route on a different path than *avoid_path_id* when one exists.
+
+        Used for retransmissions: NDP always resends a lost packet on a
+        different path.
+        """
+        candidates = [r for r in self.routes if r.path_id != avoid_path_id]
+        if not candidates:
+            return self._by_path_id[avoid_path_id]
+        return self.rng.choice(candidates)
+
+    def path_count(self) -> int:
+        """Total number of paths (before exclusion)."""
+        return len(self.routes)
+
+    def _generate_permutation(self) -> None:
+        usable = self._usable_routes()
+        permutation = list(usable)
+        self.rng.shuffle(permutation)
+        self._permutation = permutation
+        self._position = 0
+        self.permutations_generated += 1
+
+    def _usable_routes(self) -> List[Route]:
+        if not self.penalize or len(self.routes) == 1:
+            self.currently_excluded = []
+            return self.routes
+        excluded = set(self._outlier_paths())
+        self.currently_excluded = sorted(excluded)
+        usable = [r for r in self.routes if r.path_id not in excluded]
+        # Never exclude everything: fall back to the full set if the
+        # scoreboard would leave no usable path.
+        return usable if usable else self.routes
+
+    def _outlier_paths(self) -> List[int]:
+        sampled = [s for s in self.scores.values() if s.samples >= self.min_samples]
+        if len(sampled) < 2:
+            return []
+        mean_nack = sum(s.nack_fraction for s in sampled) / len(sampled)
+        mean_loss = sum(s.losses for s in sampled) / len(sampled)
+        outliers = []
+        for path_id, score in self.scores.items():
+            if score.samples < self.min_samples:
+                continue
+            bad_nacks = (
+                score.nack_fraction > 0.05
+                and score.nack_fraction > self.nack_ratio * max(mean_nack, 1e-9)
+            )
+            bad_losses = score.losses > 2 and score.losses > self.nack_ratio * max(
+                mean_loss, 1e-9
+            )
+            if bad_nacks or bad_losses:
+                outliers.append(path_id)
+        # Keep at least half of the paths in play.
+        max_excluded = max(0, len(self.routes) // 2)
+        return outliers[:max_excluded]
+
+    # --- scoreboard -----------------------------------------------------------
+
+    def record_ack(self, path_id: int) -> None:
+        """Record positive feedback for *path_id*."""
+        score = self.scores.get(path_id)
+        if score is not None:
+            score.acks += 1
+
+    def record_nack(self, path_id: int) -> None:
+        """Record a trimmed packet (negative feedback) for *path_id*."""
+        score = self.scores.get(path_id)
+        if score is not None:
+            score.nacks += 1
+
+    def record_loss(self, path_id: int) -> None:
+        """Record a true loss (RTO expiry / bounced header) on *path_id*."""
+        score = self.scores.get(path_id)
+        if score is not None:
+            score.losses += 1
+
+    def nack_fraction(self, path_id: int) -> float:
+        """Convenience accessor used by tests and diagnostics."""
+        return self.scores[path_id].nack_fraction

@@ -1,0 +1,157 @@
+"""The per-host pull queue and pacer (§3.2 of the paper).
+
+Every arriving data packet or trimmed header makes the receiver add one pull
+request to its host-wide pull queue.  A single pacer drains that queue at the
+receiver's link rate — one PULL per MTU serialization time — so that the data
+packets the PULLs elicit arrive at exactly the link rate, whatever the number
+of competing senders.  Requests from different connections are served with
+fair (round-robin) queueing by default; a connection can be marked high
+priority, in which case its pulls are sent before any others, which is how
+the receiver prioritizes straggler responses (Figure 10 and the incast
+prioritization results).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, TYPE_CHECKING
+
+from repro.sim.eventlist import Event, EventList
+from repro.sim.units import serialization_time_ps
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.receiver import NdpSink
+
+
+class NdpPullPacer:
+    """Drains a host's shared pull queue at (a fraction of) its link rate."""
+
+    def __init__(
+        self,
+        eventlist: EventList,
+        link_rate_bps: int,
+        mtu_bytes: int = 9000,
+        rate_fraction: float = 1.0,
+        name: str = "pull-pacer",
+    ) -> None:
+        if not 0.0 < rate_fraction <= 1.0:
+            raise ValueError("rate_fraction must be in (0, 1]")
+        self.eventlist = eventlist
+        self.link_rate_bps = link_rate_bps
+        self.mtu_bytes = mtu_bytes
+        self.name = name
+        self.pull_interval_ps = int(
+            serialization_time_ps(mtu_bytes, link_rate_bps) / rate_fraction
+        )
+        # Per-connection FIFO credit counts.
+        self._pending: Dict[int, int] = {}
+        self._sinks: Dict[int, "NdpSink"] = {}
+        # Round-robin service order, one entry per connection with credits.
+        self._normal_rr: Deque[int] = deque()
+        self._priority_rr: Deque[int] = deque()
+        self._queued_flows: set[int] = set()
+        self._next_allowed_time = 0
+        self._scheduled: Optional[Event] = None
+        self.pulls_sent = 0
+        self.pulls_purged = 0
+
+    # --- public API used by NdpSink --------------------------------------------
+
+    def register(self, sink: "NdpSink") -> None:
+        """Register a connection so the pacer can ask it to emit PULLs."""
+        self._sinks[sink.flow_id] = sink
+        self._pending.setdefault(sink.flow_id, 0)
+
+    def unregister(self, sink: "NdpSink") -> None:
+        """Forget a connection entirely (used when tearing experiments down)."""
+        self.purge(sink.flow_id)
+        self._sinks.pop(sink.flow_id, None)
+        self._pending.pop(sink.flow_id, None)
+
+    def request_pull(self, sink: "NdpSink") -> None:
+        """Queue one pull request on behalf of *sink*."""
+        flow_id = sink.flow_id
+        if flow_id not in self._sinks:
+            self.register(sink)
+        self._pending[flow_id] = self._pending.get(flow_id, 0) + 1
+        if flow_id not in self._queued_flows:
+            self._queued_flows.add(flow_id)
+            if sink.priority:
+                self._priority_rr.append(flow_id)
+            else:
+                self._normal_rr.append(flow_id)
+        self._schedule_next()
+
+    def purge(self, flow_id: int) -> None:
+        """Drop all queued pull requests for *flow_id*.
+
+        Called when the last packet of a transfer arrives, so that no useless
+        PULLs are sent (the paper's pull-queue cleanup rule).
+        """
+        pending = self._pending.get(flow_id, 0)
+        if pending:
+            self.pulls_purged += pending
+        self._pending[flow_id] = 0
+        # Lazy removal: the flow id stays in the RR deques and is skipped
+        # when it comes up with zero credit.
+
+    def outstanding(self, flow_id: Optional[int] = None) -> int:
+        """Number of queued pull requests (for one flow or in total)."""
+        if flow_id is not None:
+            return self._pending.get(flow_id, 0)
+        return sum(self._pending.values())
+
+    # --- pacing loop ------------------------------------------------------------
+
+    def _schedule_next(self) -> None:
+        if self._scheduled is not None:
+            return
+        if self.outstanding() == 0:
+            return
+        when = max(self.eventlist.now(), self._next_allowed_time)
+        self._scheduled = self.eventlist.schedule(when, self._send_one)
+
+    def _send_one(self) -> None:
+        self._scheduled = None
+        flow_id = self._next_flow()
+        if flow_id is None:
+            return
+        self._pending[flow_id] -= 1
+        sink = self._sinks[flow_id]
+        self._next_allowed_time = self.eventlist.now() + self._next_interval()
+        self.pulls_sent += 1
+        sink.emit_pull()
+        self._schedule_next()
+
+    def _next_interval(self) -> int:
+        """Spacing until the next PULL may be sent.
+
+        The base pacer uses the exact MTU serialization time; the host-model
+        pacer in :mod:`repro.hosts` overrides this to replay the measured
+        (jittered) pull-spacing distribution of the Linux prototype.
+        """
+        return self.pull_interval_ps
+
+    def _next_flow(self) -> Optional[int]:
+        for rr_queue, is_priority in ((self._priority_rr, True), (self._normal_rr, False)):
+            while rr_queue:
+                flow_id = rr_queue.popleft()
+                if flow_id not in self._queued_flows:
+                    continue  # superseded entry (flow moved between classes)
+                if self._pending.get(flow_id, 0) <= 0:
+                    # purged or drained; forget the flow until it asks again
+                    self._queued_flows.discard(flow_id)
+                    continue
+                sink = self._sinks.get(flow_id)
+                if sink is None:
+                    self._queued_flows.discard(flow_id)
+                    continue
+                if sink.priority != is_priority:
+                    # Priority changed since the entry was queued; requeue in
+                    # the right class and keep looking.
+                    target = self._priority_rr if sink.priority else self._normal_rr
+                    target.append(flow_id)
+                    continue
+                rr_queue.append(flow_id)  # keep round-robin position
+                return flow_id
+        return None

@@ -1,0 +1,204 @@
+"""The NDP receiver (per-connection sink).
+
+The receiver is where NDP's intelligence lives: trimmed headers give it a
+complete picture of instantaneous demand, and from the second RTT onwards it
+controls exactly which sender transmits, and when, by pacing PULL packets
+from the host-wide :class:`~repro.core.pull_queue.NdpPullPacer`.
+
+Per arriving packet the sink:
+
+* sends an ACK immediately for a full data packet (so the sender can free
+  the buffer and cancel its timer),
+* sends a NACK immediately for a trimmed header (so the sender queues the
+  packet for retransmission), and
+* adds a pull request to the host's shared pull queue, unless it already has
+  enough outstanding pulls to cover the data it still needs.
+
+When the transfer completes, any remaining pull requests for this connection
+are purged so no useless PULLs are sent.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence, Set
+
+from repro.core.config import NdpConfig
+from repro.core.packets import NdpAck, NdpDataPacket, NdpNack, NdpPull
+from repro.core.path_manager import PathManager
+from repro.core.pull_queue import NdpPullPacer
+from repro.sim.eventlist import EventList
+from repro.sim.logger import FlowRecord
+from repro.sim.network import NetworkEndpoint
+from repro.sim.packet import Packet, Route
+
+
+class NdpSink(NetworkEndpoint):
+    """Receiving endpoint of one NDP connection."""
+
+    def __init__(
+        self,
+        eventlist: EventList,
+        flow_id: int,
+        node_id: int,
+        pacer: NdpPullPacer,
+        reverse_routes: Sequence[Route],
+        config: Optional[NdpConfig] = None,
+        rng: Optional[random.Random] = None,
+        priority: bool = False,
+        on_complete: Optional[Callable[["NdpSink"], None]] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(eventlist, node_id, name or f"ndp-sink-{flow_id}")
+        self.flow_id = flow_id
+        self.config = config if config is not None else NdpConfig()
+        self.pacer = pacer
+        self.priority = priority
+        self.on_complete = on_complete
+        self.rng = rng if rng is not None else random.Random(flow_id)
+        self.reverse_paths = PathManager(reverse_routes, rng=self.rng, penalize=False)
+        self.record = FlowRecord(flow_id=flow_id, src=-1, dst=node_id, flow_size_bytes=0)
+        self.src_node_id = -1
+        self._received: Set[int] = set()
+        self._expected_packets: Optional[int] = None
+        self._pull_counter = 0
+        self._saw_last = False
+        self._highest_seqno_seen = -1
+        self.acks_sent = 0
+        self.nacks_sent = 0
+        self.pulls_emitted = 0
+        self.pacer.register(self)
+
+    # --- wiring -----------------------------------------------------------------
+
+    def expect(self, src_node_id: int, flow_size_bytes: int, total_packets: int) -> None:
+        """Tell the sink how large the incoming transfer will be.
+
+        In a real deployment this is carried by the SYN-flagged first-RTT
+        packets; in the simulator the connection helper calls it when wiring
+        a sender to its sink.
+        """
+        self.src_node_id = src_node_id
+        self.record.src = src_node_id
+        self.record.flow_size_bytes = flow_size_bytes
+        self._expected_packets = total_packets
+
+    def set_priority(self, priority: bool) -> None:
+        """Mark (or unmark) this connection as high priority at the pull queue."""
+        self.priority = priority
+
+    # --- protocol state ------------------------------------------------------------
+
+    @property
+    def complete(self) -> bool:
+        """True once every data packet of the transfer has been received."""
+        if self._expected_packets is not None:
+            return len(self._received) >= self._expected_packets
+        return self._saw_last and len(self._received) == self._highest_seqno_seen + 1
+
+    def packets_received(self) -> int:
+        """Number of distinct data packets received in full."""
+        return len(self._received)
+
+    def remaining_packets(self) -> Optional[int]:
+        """Packets still missing, or ``None`` if the total is not yet known."""
+        if self._expected_packets is None:
+            if not self._saw_last:
+                return None
+            return self._highest_seqno_seen + 1 - len(self._received)
+        return self._expected_packets - len(self._received)
+
+    # --- packet handling -------------------------------------------------------------
+
+    def receive_packet(self, packet: Packet) -> None:
+        if not isinstance(packet, NdpDataPacket):
+            raise TypeError(f"NdpSink received unexpected packet type {type(packet)!r}")
+        if self.record.start_time_ps is None:
+            self.record.start_time_ps = self.now()
+        if packet.syn and self.src_node_id < 0:
+            # Zero-RTT connection establishment: whichever first-RTT packet
+            # arrives first creates the connection state.
+            self.src_node_id = packet.src
+            self.record.src = packet.src
+        self._highest_seqno_seen = max(self._highest_seqno_seen, packet.seqno)
+        if packet.last:
+            self._saw_last = True
+        if packet.is_header_only:
+            self._handle_header(packet)
+        else:
+            self._handle_data(packet)
+
+    def _handle_data(self, packet: NdpDataPacket) -> None:
+        self.record.packets_delivered += 1
+        is_new = packet.seqno not in self._received
+        if is_new:
+            self._received.add(packet.seqno)
+            self.record.bytes_delivered += packet.payload_bytes
+        self._send_control(
+            NdpAck(
+                flow_id=self.flow_id,
+                src=self.node_id,
+                dst=packet.src,
+                seqno=packet.seqno,
+                data_path_id=packet.path_id,
+                header_bytes=self.config.header_bytes,
+            )
+        )
+        self.acks_sent += 1
+        if self.complete:
+            self._finish()
+        else:
+            self._maybe_request_pull()
+
+    def _handle_header(self, packet: NdpDataPacket) -> None:
+        self.record.headers_received += 1
+        self._send_control(
+            NdpNack(
+                flow_id=self.flow_id,
+                src=self.node_id,
+                dst=packet.src,
+                seqno=packet.seqno,
+                data_path_id=packet.path_id,
+                header_bytes=self.config.header_bytes,
+            )
+        )
+        self.nacks_sent += 1
+        if not self.complete:
+            self._maybe_request_pull()
+
+    # --- pulls -----------------------------------------------------------------------
+
+    def _maybe_request_pull(self) -> None:
+        remaining = self.remaining_packets()
+        if remaining is not None and self.pacer.outstanding(self.flow_id) >= remaining:
+            return
+        self.pacer.request_pull(self)
+
+    def emit_pull(self) -> None:
+        """Called by the pacer when it is this connection's turn to pull."""
+        if self.complete:
+            return
+        self._pull_counter += 1
+        self.pulls_emitted += 1
+        self._send_control(
+            NdpPull(
+                flow_id=self.flow_id,
+                src=self.node_id,
+                dst=self.src_node_id,
+                pull_counter=self._pull_counter,
+                header_bytes=self.config.header_bytes,
+            )
+        )
+
+    # --- helpers -----------------------------------------------------------------------
+
+    def _send_control(self, packet: Packet) -> None:
+        route = self.reverse_paths.next_route()
+        self.inject(packet, route)
+
+    def _finish(self) -> None:
+        if self.record.finish_time_ps is None:
+            self.record.finish_time_ps = self.now()
+            self.pacer.purge(self.flow_id)
+            if self.on_complete is not None:
+                self.on_complete(self)

@@ -1,0 +1,307 @@
+"""The NDP sender.
+
+The sender's job is deliberately simple (§3.2 of the paper):
+
+* on start, push a full initial window at line rate — zero-RTT, no handshake,
+  every first-window packet carries the SYN flag and its offset so the
+  connection can be established by whichever packet arrives first;
+* after that, only transmit when pulled: each PULL advances a cumulative pull
+  counter and the sender sends as many packets as the counter advanced by,
+  retransmissions (NACKed packets) first, then new data;
+* spray every packet over the paths chosen by the
+  :class:`~repro.core.path_manager.PathManager`, and always retransmit on a
+  different path than the one that failed;
+* fall back on a short RTO only for true losses (corruption, header-queue
+  drops) — with trimming these are rare, so the timer hardly ever fires;
+* honour return-to-sender headers: resend immediately only when no more
+  PULLs are expected (or the network looks asymmetric), to avoid echoing the
+  incast.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Set
+
+from repro.core.config import NdpConfig
+from repro.core.packets import NdpAck, NdpDataPacket, NdpNack, NdpPull
+from repro.core.path_manager import PathManager
+from repro.sim.eventlist import Event, EventList
+from repro.sim.logger import FlowRecord
+from repro.sim.network import NetworkEndpoint
+from repro.sim.packet import Packet, Route
+
+from repro.core.receiver import NdpSink
+
+
+class NdpSrc(NetworkEndpoint):
+    """Sending endpoint of one NDP connection."""
+
+    def __init__(
+        self,
+        eventlist: EventList,
+        flow_id: int,
+        node_id: int,
+        dst_node_id: int,
+        flow_size_bytes: int,
+        routes: Sequence[Route],
+        config: Optional[NdpConfig] = None,
+        rng: Optional[random.Random] = None,
+        on_complete: Optional[Callable[["NdpSrc"], None]] = None,
+        record_packet_latencies: bool = False,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(eventlist, node_id, name or f"ndp-src-{flow_id}")
+        if flow_size_bytes <= 0:
+            raise ValueError(f"flow size must be positive, got {flow_size_bytes}")
+        self.flow_id = flow_id
+        self.dst_node_id = dst_node_id
+        self.flow_size_bytes = flow_size_bytes
+        self.config = config if config is not None else NdpConfig()
+        self.rng = rng if rng is not None else random.Random(flow_id)
+        self.on_complete = on_complete
+        self.record_packet_latencies = record_packet_latencies
+
+        self.paths = PathManager(
+            routes,
+            rng=self.rng,
+            penalize=self.config.path_penalty,
+            min_samples=self.config.path_penalty_min_samples,
+            nack_ratio=self.config.path_penalty_nack_ratio,
+            mode=self.config.path_selection_mode,
+        )
+
+        payload = self.config.mtu_bytes - self.config.header_bytes
+        self.payload_per_packet = payload
+        self.total_packets = (flow_size_bytes + payload - 1) // payload
+
+        self.record = FlowRecord(
+            flow_id=flow_id, src=node_id, dst=dst_node_id, flow_size_bytes=flow_size_bytes
+        )
+
+        self.sink: Optional[NdpSink] = None
+        self._next_new_seqno = 0
+        self._acked: Set[int] = set()
+        self._nacked: Set[int] = set()
+        self._rtx_queue: Deque[int] = deque()
+        self._rtx_queued: Set[int] = set()
+        self._last_pull_counter = 0
+        self._last_path_used: Dict[int, int] = {}
+        self._first_send_time: Dict[int, int] = {}
+        self._rto_events: Dict[int, Event] = {}
+        self._started = False
+
+        self.packets_sent = 0
+        self.acks_received = 0
+        self.nacks_received = 0
+        self.pulls_received = 0
+        self.bounces_received = 0
+        self.packet_latencies_ps: List[int] = []
+
+    # --- wiring -----------------------------------------------------------------
+
+    def connect(self, sink: NdpSink) -> None:
+        """Associate this sender with its receiving sink."""
+        self.sink = sink
+        sink.expect(self.node_id, self.flow_size_bytes, self.total_packets)
+
+    def set_destination_routes(self, routes: Sequence[Route]) -> None:
+        """Install the final forward routes (each ending at the sink)."""
+        self.paths.set_routes(routes)
+
+    def start(self, at_time_ps: Optional[int] = None) -> None:
+        """Schedule the first-RTT burst (defaults to the current time)."""
+        when = self.now() if at_time_ps is None else at_time_ps
+        self.eventlist.schedule(when, self._send_initial_window)
+
+    # --- state inspection ---------------------------------------------------------
+
+    @property
+    def complete(self) -> bool:
+        """True once every packet of the transfer has been ACKed."""
+        return len(self._acked) >= self.total_packets
+
+    def packets_acked(self) -> int:
+        """Number of packets positively acknowledged so far."""
+        return len(self._acked)
+
+    def retransmit_queue_depth(self) -> int:
+        """Packets waiting to be retransmitted on the next PULLs."""
+        return len(self._rtx_queue)
+
+    # --- sending ---------------------------------------------------------------------
+
+    def _send_initial_window(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.record.start_time_ps = self.now()
+        window = min(self.config.initial_window_packets, self.total_packets)
+        for _ in range(window):
+            seqno = self._next_new_seqno
+            self._next_new_seqno += 1
+            self._transmit(seqno, is_retransmit=False, syn=True)
+
+    def _transmit(
+        self,
+        seqno: int,
+        is_retransmit: bool,
+        syn: bool = False,
+        route: Optional[Route] = None,
+    ) -> None:
+        if route is None:
+            route = self.paths.next_route()
+        is_last = seqno == self.total_packets - 1
+        payload = self._payload_size(seqno)
+        packet = NdpDataPacket(
+            flow_id=self.flow_id,
+            src=self.node_id,
+            dst=self.dst_node_id,
+            seqno=seqno,
+            payload_bytes=payload,
+            header_bytes=self.config.header_bytes,
+            syn=syn,
+            last=is_last,
+            src_endpoint=self,
+            is_retransmit=is_retransmit,
+        )
+        self._last_path_used[seqno] = route.path_id
+        if seqno not in self._first_send_time:
+            self._first_send_time[seqno] = self.now()
+        if is_retransmit:
+            self.record.retransmissions += 1
+        self.packets_sent += 1
+        self._arm_rto(seqno)
+        self.inject(packet, route)
+
+    def _payload_size(self, seqno: int) -> int:
+        if seqno < self.total_packets - 1:
+            return self.payload_per_packet
+        remainder = self.flow_size_bytes - (self.total_packets - 1) * self.payload_per_packet
+        return remainder if remainder > 0 else self.payload_per_packet
+
+    def _send_pulled_packets(self, count: int) -> None:
+        for _ in range(count):
+            if self._rtx_queue:
+                seqno = self._rtx_queue.popleft()
+                self._rtx_queued.discard(seqno)
+                self._nacked.discard(seqno)
+                if seqno in self._acked:
+                    continue
+                route = self.paths.alternative_route(self._last_path_used.get(seqno, -1))
+                self._transmit(seqno, is_retransmit=True, route=route)
+            elif self._next_new_seqno < self.total_packets:
+                seqno = self._next_new_seqno
+                self._next_new_seqno += 1
+                self._transmit(seqno, is_retransmit=False)
+            else:
+                break  # nothing left to send; the pull is wasted
+
+    # --- receive path -------------------------------------------------------------------
+
+    def receive_packet(self, packet: Packet) -> None:
+        if isinstance(packet, NdpAck):
+            self._handle_ack(packet)
+        elif isinstance(packet, NdpNack):
+            self._handle_nack(packet)
+        elif isinstance(packet, NdpPull):
+            self._handle_pull(packet)
+        elif isinstance(packet, NdpDataPacket) and packet.bounced:
+            self._handle_bounce(packet)
+        else:
+            raise TypeError(f"NdpSrc received unexpected packet {packet!r}")
+
+    def _handle_ack(self, ack: NdpAck) -> None:
+        self.acks_received += 1
+        self.paths.record_ack(ack.data_path_id)
+        seqno = ack.seqno
+        if seqno in self._acked:
+            return
+        self._acked.add(seqno)
+        self._nacked.discard(seqno)
+        self._cancel_rto(seqno)
+        self.record.bytes_delivered += self._payload_size(seqno)
+        self.record.packets_delivered += 1
+        if self.record_packet_latencies and seqno in self._first_send_time:
+            self.packet_latencies_ps.append(self.now() - self._first_send_time[seqno])
+        if self.complete:
+            self._finish()
+
+    def _handle_nack(self, nack: NdpNack) -> None:
+        self.nacks_received += 1
+        self.record.rtx_from_nack += 1
+        self.paths.record_nack(nack.data_path_id)
+        seqno = nack.seqno
+        self._cancel_rto(seqno)
+        if seqno in self._acked or seqno in self._rtx_queued:
+            return
+        self._nacked.add(seqno)
+        self._rtx_queue.append(seqno)
+        self._rtx_queued.add(seqno)
+
+    def _handle_pull(self, pull: NdpPull) -> None:
+        self.pulls_received += 1
+        delta = pull.pull_counter - self._last_pull_counter
+        if delta <= 0:
+            return  # reordered or duplicate pull
+        self._last_pull_counter = pull.pull_counter
+        self._send_pulled_packets(delta)
+
+    def _handle_bounce(self, packet: NdpDataPacket) -> None:
+        """A trimmed header was returned to sender by an overflowing switch."""
+        self.bounces_received += 1
+        self.record.rtx_from_bounce += 1
+        seqno = packet.seqno
+        path_id = packet.path_id
+        self.paths.record_loss(path_id)
+        self._cancel_rto(seqno)
+        if seqno in self._acked or seqno in self._rtx_queued:
+            return
+        feedback_received = self.acks_received + self.nacks_received
+        expecting_more_pulls = feedback_received > self._last_pull_counter
+        mostly_acked = self.acks_received > self.nacks_received
+        if not expecting_more_pulls or mostly_acked:
+            # Safe to resend right away: either the pull clock has gone quiet
+            # (resending keeps it alive) or the network looks asymmetric and a
+            # different path will likely work.
+            route = self.paths.alternative_route(path_id)
+            self._transmit(seqno, is_retransmit=True, route=route)
+        else:
+            self._nacked.add(seqno)
+            self._rtx_queue.append(seqno)
+            self._rtx_queued.add(seqno)
+
+    # --- timers ------------------------------------------------------------------------
+
+    def _arm_rto(self, seqno: int) -> None:
+        self._cancel_rto(seqno)
+        self._rto_events[seqno] = self.eventlist.schedule_in(
+            self.config.rto_ps, self._handle_timeout, seqno
+        )
+
+    def _cancel_rto(self, seqno: int) -> None:
+        event = self._rto_events.pop(seqno, None)
+        if event is not None:
+            event.cancel()
+
+    def _handle_timeout(self, seqno: int) -> None:
+        self._rto_events.pop(seqno, None)
+        if seqno in self._acked or seqno in self._nacked or seqno in self._rtx_queued:
+            return  # fate already known; the pull clock will handle it
+        self.record.rtx_from_timeout += 1
+        self.paths.record_loss(self._last_path_used.get(seqno, -1))
+        route = self.paths.alternative_route(self._last_path_used.get(seqno, -1))
+        self._transmit(seqno, is_retransmit=True, route=route)
+
+    # --- completion ----------------------------------------------------------------------
+
+    def _finish(self) -> None:
+        if self.record.finish_time_ps is not None:
+            return
+        self.record.finish_time_ps = self.now()
+        for event in self._rto_events.values():
+            event.cancel()
+        self._rto_events.clear()
+        if self.on_complete is not None:
+            self.on_complete(self)

@@ -1,0 +1,180 @@
+"""Canonical workload runners shared by examples, tests and benchmarks.
+
+Every function takes a *network* object (any of the ``*Network`` builders —
+NDP or a baseline) and drives it through one of the paper's workloads,
+returning plain result structures that the per-figure benchmarks format into
+the paper's tables.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.harness import metrics
+from repro.sim import units
+from repro.sim.logger import FlowRecord
+from repro.workloads.traffic_matrices import incast_pairs, permutation_pairs, random_pairs
+
+
+@dataclass
+class ThroughputResult:
+    """Outcome of a fixed-duration throughput experiment (e.g. a permutation)."""
+
+    duration_ps: int
+    link_rate_bps: int
+    per_flow_goodput_bps: List[float] = field(default_factory=list)
+    utilization: float = 0.0
+    trimmed_packets: int = 0
+    dropped_packets: int = 0
+
+    def sorted_goodputs_gbps(self) -> List[float]:
+        """Per-flow goodput in Gb/s, ascending — the y-values of Figure 14."""
+        return sorted(g / 1e9 for g in self.per_flow_goodput_bps)
+
+    def min_goodput_gbps(self) -> float:
+        """Goodput of the unluckiest flow."""
+        return min(self.per_flow_goodput_bps) / 1e9 if self.per_flow_goodput_bps else 0.0
+
+
+@dataclass
+class FctResult:
+    """Outcome of an experiment whose metric is flow completion times."""
+
+    records: List[FlowRecord] = field(default_factory=list)
+
+    def completed(self) -> List[FlowRecord]:
+        """Only the flows that finished within the simulated horizon."""
+        return [r for r in self.records if r.completed]
+
+    def fcts_us(self) -> List[float]:
+        """Completion times in microseconds."""
+        return [r.completion_time_ps() / units.MICROSECOND for r in self.completed()]
+
+    def last_completion_us(self) -> float:
+        """Finish time of the last flow to complete (relative FCT), in us."""
+        fcts = self.fcts_us()
+        if not fcts:
+            raise ValueError("no flow completed")
+        return max(fcts)
+
+    def summary(self) -> Dict[str, float]:
+        """Median / p90 / p99 / max completion times in microseconds."""
+        return metrics.summarize_fcts_us(self.records)
+
+
+def start_permutation(
+    network,
+    flow_size_bytes: int,
+    rng: Optional[random.Random] = None,
+    start_time_ps: int = 0,
+) -> List[object]:
+    """Start one flow per host according to a random permutation matrix."""
+    rng = rng if rng is not None else random.Random(1)
+    pairs = permutation_pairs(network.topology.hosts(), rng)
+    return [
+        network.create_flow(src, dst, flow_size_bytes, start_time_ps=start_time_ps)
+        for src, dst in pairs
+    ]
+
+
+def start_random_matrix(
+    network,
+    flow_size_bytes: int,
+    rng: Optional[random.Random] = None,
+    flows_per_host: int = 1,
+    start_time_ps: int = 0,
+) -> List[object]:
+    """Start flows from every host to uniformly random destinations."""
+    rng = rng if rng is not None else random.Random(1)
+    pairs = random_pairs(network.topology.hosts(), rng, flows_per_host=flows_per_host)
+    return [
+        network.create_flow(src, dst, flow_size_bytes, start_time_ps=start_time_ps)
+        for src, dst in pairs
+    ]
+
+
+def start_incast(
+    network,
+    receiver: int,
+    senders: Sequence[int],
+    bytes_per_sender: int,
+    start_time_ps: int = 0,
+    priority_sender: Optional[int] = None,
+) -> List[object]:
+    """Start a synchronized incast of *senders* towards *receiver*.
+
+    If *priority_sender* is given and the network supports receiver-side
+    prioritization (NDP does), that sender's flow is marked high priority.
+    """
+    flows = []
+    for src, dst in incast_pairs(receiver, senders):
+        flows.append(
+            network.create_flow(
+                src,
+                dst,
+                bytes_per_sender,
+                start_time_ps=start_time_ps,
+                priority=(src == priority_sender),
+            )
+        )
+    return flows
+
+
+def measure_throughput(
+    network,
+    flows: Sequence[object],
+    duration_ps: int,
+    run: bool = True,
+) -> ThroughputResult:
+    """Run the event list for *duration_ps* and compute per-flow goodputs."""
+    if run:
+        network.eventlist.run(until=duration_ps)
+    per_flow = [metrics.goodput_bps(flow.record, duration_ps) for flow in flows]
+    receivers = len({flow.record.dst for flow in flows})
+    utilization = metrics.utilization_from_records(
+        [flow.record for flow in flows],
+        duration_ps,
+        network.topology.link_rate_bps,
+        receivers,
+    )
+    return ThroughputResult(
+        duration_ps=duration_ps,
+        link_rate_bps=network.topology.link_rate_bps,
+        per_flow_goodput_bps=per_flow,
+        utilization=utilization,
+        trimmed_packets=network.topology.total_trimmed(),
+        dropped_packets=network.topology.total_dropped(),
+    )
+
+
+def run_until_complete(
+    network,
+    flows: Sequence[object],
+    timeout_ps: int,
+    check_interval_ps: int = units.milliseconds(1),
+) -> FctResult:
+    """Run until every flow in *flows* completes (or *timeout_ps* elapses)."""
+    eventlist = network.eventlist
+    deadline = eventlist.now() + timeout_ps
+    while eventlist.now() < deadline:
+        if all(flow.complete for flow in flows):
+            break
+        next_stop = min(deadline, eventlist.now() + check_interval_ps)
+        eventlist.run(until=next_stop)
+        if eventlist.pending_events() == 0:
+            break
+    return FctResult(records=[flow.record for flow in flows])
+
+
+def permutation_utilization(
+    network_builder,
+    flow_size_bytes: int = 50_000_000,
+    duration_ps: int = units.milliseconds(2),
+    seed: int = 1,
+) -> ThroughputResult:
+    """Convenience wrapper: build → permute → measure (used by sweeps)."""
+    network = network_builder()
+    flows = start_permutation(network, flow_size_bytes, rng=random.Random(seed))
+    return measure_throughput(network, flows, duration_ps)

@@ -1,0 +1,911 @@
+"""Data generators for every figure in the paper's evaluation.
+
+Each ``figure*`` function runs the corresponding experiment (at a scale
+suitable for a laptop — see EXPERIMENTS.md for the scale mapping) and
+returns plain dictionaries / lists that the benchmarks print as the paper's
+rows and the examples plot or tabulate.  Keeping them here, rather than
+inside the benchmark files, makes the experiments importable by library
+users.
+
+All functions take explicit scale parameters with defaults chosen so the
+whole suite runs in a few minutes of wall-clock time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import NdpConfig
+from repro.core.switch import CpSwitchQueue, NdpSwitchQueue
+from repro.harness import experiment, metrics
+from repro.harness.baseline_networks import (
+    DcqcnNetwork,
+    DctcpNetwork,
+    MptcpNetwork,
+    PHostNetwork,
+    TcpNetwork,
+)
+from repro.harness.ndp_network import NdpNetwork
+from repro.hosts.processing import (
+    HostProcessingModel,
+    JitteredPullPacer,
+    PullSpacingJitter,
+    RpcStackModel,
+)
+from repro.sim import units
+from repro.sim.eventlist import EventList
+from repro.sim.logger import RateEstimator, TimeSeriesSampler
+from repro.topology import (
+    BackToBackTopology,
+    FatTreeTopology,
+    LeafSpineTopology,
+    SingleSwitchTopology,
+)
+from repro.transports.constant_rate import ConstantRateSink, ConstantRateSource
+from repro.transports.tcp import TcpConfig
+from repro.workloads.flowsize import FacebookWebFlowSizes
+from repro.workloads.generators import ClosedLoopGenerator
+
+#: protocols compared in the large-scale simulations, keyed by display name
+PROTOCOL_BUILDERS = {
+    "NDP": NdpNetwork,
+    "MPTCP": MptcpNetwork,
+    "DCTCP": DctcpNetwork,
+    "DCQCN": DcqcnNetwork,
+}
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 — CP congestion collapse and phase effects
+# ---------------------------------------------------------------------------
+
+def figure2_switch_overload(
+    flow_counts: Sequence[int] = (4, 16, 64, 128),
+    duration_ps: int = units.milliseconds(20),
+    packet_bytes: int = 9000,
+    seed: int = 1,
+) -> List[Dict[str, float]]:
+    """Percent of fair-share goodput under N unresponsive flows.
+
+    Reproduces Figure 2: many constant-rate senders converge on a single
+    10 Gb/s output port served either by an NDP switch queue (dual priority
+    queue, WRR, probabilistic trim) or a CP queue (single FIFO, deterministic
+    trim).  Returns one row per (switch type, flow count) with the mean and
+    worst-10% fair-share percentage.
+    """
+    rows = []
+    for switch_kind in ("NDP", "CP"):
+        for flows in flow_counts:
+            shares = _run_overload(switch_kind, flows, duration_ps, packet_bytes, seed)
+            shares.sort()
+            worst = shares[: max(1, len(shares) // 10)]
+            rows.append(
+                {
+                    "switch": switch_kind,
+                    "flows": flows,
+                    "mean_percent": 100 * metrics.mean(shares),
+                    "worst10_percent": 100 * metrics.mean(worst),
+                }
+            )
+    return rows
+
+
+def _run_overload(switch_kind, flows, duration_ps, packet_bytes, seed):
+    eventlist = EventList()
+    config = NdpConfig(mtu_bytes=packet_bytes, header_queue_bytes=8 * packet_bytes)
+    rng = random.Random(seed)
+
+    def queue_factory(evl, rate, name):
+        if switch_kind == "NDP":
+            return NdpSwitchQueue(evl, rate, config=config, rng=rng, name=name)
+        return CpSwitchQueue(evl, rate, config=config, name=name)
+
+    topology = SingleSwitchTopology(
+        eventlist, hosts=flows + 1, queue_factory=queue_factory
+    )
+    link_rate = topology.link_rate_bps
+    sinks = []
+    for index in range(flows):
+        src_host = index + 1
+        sink = ConstantRateSink(eventlist, flow_id=index, node_id=0)
+        route = topology.get_paths(src_host, 0)[0].extended(sink)
+        source = ConstantRateSource(
+            eventlist,
+            flow_id=index,
+            node_id=src_host,
+            dst_node_id=0,
+            route=route,
+            rate_bps=link_rate,
+            packet_bytes=packet_bytes,
+            jitter_fraction=0.05,
+            rng=random.Random(seed * 1000 + index),
+        )
+        source.start(0)
+        sinks.append(sink)
+    eventlist.run(until=duration_ps)
+    return [
+        metrics.fair_share_fraction(sink.goodput_bps(duration_ps), link_rate, flows)
+        for sink in sinks
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — delivery latency CDF under permutation / random / incast
+# ---------------------------------------------------------------------------
+
+def figure4_latency_cdf(
+    k: int = 4,
+    permutation_flow_bytes: int = 3_000_000,
+    incast_senders: int = 15,
+    incast_flow_bytes: int = 135_000,
+    duration_ps: int = units.milliseconds(8),
+    seed: int = 1,
+) -> Dict[str, List[float]]:
+    """Per-packet delivery latency (send to sender-side ACK) distributions.
+
+    Returns latency samples in microseconds for three traffic matrices:
+    ``permutation``, ``random`` and ``incast`` (the paper's Figure 4, scaled
+    from a 432-host to a ``k``-ary FatTree).
+    """
+    results: Dict[str, List[float]] = {}
+    for matrix in ("permutation", "random", "incast"):
+        eventlist = EventList()
+        network = NdpNetwork.build(eventlist, FatTreeTopology, k=k, seed=seed)
+        rng = random.Random(seed)
+        if matrix == "permutation":
+            flows = [
+                network.create_flow(src, dst, permutation_flow_bytes,
+                                    record_packet_latencies=True)
+                for src, dst in _permutation(network, rng)
+            ]
+        elif matrix == "random":
+            from repro.workloads.traffic_matrices import random_pairs
+
+            flows = [
+                network.create_flow(src, dst, permutation_flow_bytes,
+                                    record_packet_latencies=True)
+                for src, dst in random_pairs(network.topology.hosts(), rng)
+            ]
+        else:
+            flows = [
+                network.create_flow(src, 0, incast_flow_bytes,
+                                    record_packet_latencies=True)
+                for src in range(1, incast_senders + 1)
+            ]
+        eventlist.run(until=duration_ps)
+        samples = [
+            latency / units.MICROSECOND
+            for flow in flows
+            for latency in flow.src.packet_latencies_ps
+        ]
+        results[matrix] = samples
+    return results
+
+
+def _permutation(network, rng):
+    from repro.workloads.traffic_matrices import permutation_pairs
+
+    return permutation_pairs(network.topology.hosts(), rng)
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — 1 KB RPC latency across stacks
+# ---------------------------------------------------------------------------
+
+def figure8_rpc_latency(samples: int = 500, seed: int = 1) -> Dict[str, Dict[str, float]]:
+    """Median/p99 latency of a 1 KB RPC over NDP, TFO and TCP stacks.
+
+    The network component (a request and a response over back-to-back
+    10 Gb/s hosts) is simulated; host-side overheads come from
+    :class:`~repro.hosts.processing.HostProcessingModel`, with and without
+    deep CPU sleep states, exactly mirroring the two groups of curves in
+    Figure 8.
+    """
+    network_rtt = _measure_rpc_network_rtt()
+    rng = random.Random(seed)
+    stacks = {
+        "NDP": RpcStackModel(HostProcessingModel.ndp_dpdk(), handshake_rtts=0),
+        "TFO (no sleep)": RpcStackModel(
+            HostProcessingModel.kernel_tfo(deep_sleep=False), handshake_rtts=0
+        ),
+        "TCP (no sleep)": RpcStackModel(
+            HostProcessingModel.kernel_tcp(deep_sleep=False), handshake_rtts=1
+        ),
+        "TFO": RpcStackModel(HostProcessingModel.kernel_tfo(), handshake_rtts=0),
+        "TCP": RpcStackModel(HostProcessingModel.kernel_tcp(), handshake_rtts=1),
+    }
+    summary = {}
+    for name, model in stacks.items():
+        values = [v / units.MICROSECOND for v in model.sample_many(network_rtt, rng, samples)]
+        summary[name] = {
+            "median_us": metrics.percentile(values, 0.5),
+            "p99_us": metrics.percentile(values, 0.99),
+        }
+    return summary
+
+
+def _measure_rpc_network_rtt() -> int:
+    """Simulate the 1 KB request + 1 KB response wire time over NDP."""
+    eventlist = EventList()
+    network = NdpNetwork.build(eventlist, BackToBackTopology)
+    request = network.create_flow(0, 1, 1_000)
+    eventlist.run(until=units.milliseconds(1))
+    response = network.create_flow(1, 0, 1_000, start_time_ps=eventlist.now())
+    eventlist.run(until=eventlist.now() + units.milliseconds(1))
+    request_wire = request.record.finish_time_ps - request.sender_record.start_time_ps
+    response_wire = response.record.finish_time_ps - response.sender_record.start_time_ps
+    return request_wire + response_wire
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 — 7:1 incast on the testbed topology, NDP vs TCP
+# ---------------------------------------------------------------------------
+
+def figure9_testbed_incast(
+    response_sizes: Sequence[int] = (10_000, 50_000, 100_000, 250_000, 500_000, 1_000_000),
+    seed: int = 1,
+) -> List[Dict[str, float]]:
+    """Completion time of a 7-to-1 incast vs response size (NDP vs TCP).
+
+    The topology is the paper's 8-server, six-switch leaf-spine testbed; TCP
+    uses the Linux defaults (handshake, 200 ms minimum RTO), NDP the 1500-byte
+    MTU of the prototype.  Returns one row per response size with the
+    completion time of the last flow and the theoretical optimum.
+    """
+    rows = []
+    ndp_config = NdpConfig(mtu_bytes=1500, header_queue_bytes=8 * 1500)
+    tcp_config = TcpConfig()
+    for size in response_sizes:
+        ndp_time = _incast_last_fct(
+            NdpNetwork, size, senders=7, topology_cls=LeafSpineTopology,
+            topology_kwargs=dict(leaves=4, spines=2, hosts_per_leaf=2),
+            config=ndp_config, seed=seed,
+        )
+        tcp_time = _incast_last_fct(
+            TcpNetwork, size, senders=7, topology_cls=LeafSpineTopology,
+            topology_kwargs=dict(leaves=4, spines=2, hosts_per_leaf=2),
+            config=tcp_config, seed=seed,
+        )
+        ideal = metrics.ideal_incast_completion_ps(
+            7, size, units.DEFAULT_LINK_RATE_BPS, 1500, 64
+        )
+        rows.append(
+            {
+                "response_kb": size / 1000,
+                "ndp_ms": ndp_time / units.MILLISECOND,
+                "tcp_ms": tcp_time / units.MILLISECOND,
+                "ideal_ms": ideal / units.MILLISECOND,
+            }
+        )
+    return rows
+
+
+def _incast_last_fct(
+    network_cls,
+    bytes_per_sender: int,
+    senders: int,
+    topology_cls=SingleSwitchTopology,
+    topology_kwargs: Optional[dict] = None,
+    config=None,
+    seed: int = 1,
+    timeout_ps: int = units.seconds(2),
+    receiver: int = 0,
+) -> int:
+    eventlist = EventList()
+    kwargs = dict(topology_kwargs or {})
+    if topology_cls is SingleSwitchTopology and "hosts" not in kwargs:
+        kwargs["hosts"] = senders + 1
+    network = network_cls.build(eventlist, topology_cls, config=config, seed=seed, **kwargs)
+    sender_hosts = [h for h in network.topology.hosts() if h != receiver][:senders]
+    flows = experiment.start_incast(network, receiver, sender_hosts, bytes_per_sender)
+    experiment.run_until_complete(network, flows, timeout_ps)
+    finished = [f.record.finish_time_ps for f in flows if f.record.finish_time_ps]
+    if len(finished) < len(flows):
+        return timeout_ps  # did not complete within the horizon
+    return max(finished)
+
+
+# ---------------------------------------------------------------------------
+# Figure 10 — receiver-side prioritization of a short flow
+# ---------------------------------------------------------------------------
+
+def figure10_prioritization(
+    short_bytes: int = 200_000,
+    long_bytes: int = 2_000_000,
+    long_flows: int = 6,
+    seed: int = 1,
+) -> Dict[str, float]:
+    """FCT of a short flow: idle, prioritized, and not prioritized (in us)."""
+    config = NdpConfig(mtu_bytes=1500, header_queue_bytes=8 * 1500)
+
+    def run(background: bool, priority: bool) -> float:
+        eventlist = EventList()
+        network = NdpNetwork.build(
+            eventlist, SingleSwitchTopology, hosts=long_flows + 3, config=config, seed=seed
+        )
+        if background:
+            for src in range(2, 2 + long_flows):
+                network.create_flow(src, 0, long_bytes)
+        short = network.create_flow(1, 0, short_bytes, priority=priority)
+        eventlist.run(until=units.milliseconds(60))
+        if not short.complete:
+            raise RuntimeError("short flow did not complete")
+        return short.record.completion_time_ps() / units.MICROSECOND
+
+    return {
+        "idle_us": run(background=False, priority=False),
+        "with_prioritization_us": run(background=True, priority=True),
+        "without_prioritization_us": run(background=True, priority=False),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figures 11 / 12 / 13 — host-model fidelity experiments
+# ---------------------------------------------------------------------------
+
+def figure11_initial_window_throughput(
+    windows: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128),
+    flow_bytes: int = 20_000_000,
+    jittered: bool = False,
+    seed: int = 1,
+) -> List[Dict[str, float]]:
+    """Throughput of a back-to-back transfer as a function of the IW."""
+    rows = []
+    for window in windows:
+        config = NdpConfig(initial_window_packets=window)
+        eventlist = EventList()
+        pacer_factory = None
+        if jittered:
+            jitter = PullSpacingJitter(rng=random.Random(seed + window))
+
+            def pacer_factory(host, _evl=eventlist, _cfg=config, _jit=jitter):
+                return JitteredPullPacer(
+                    _evl, link_rate_bps=units.DEFAULT_LINK_RATE_BPS,
+                    mtu_bytes=_cfg.mtu_bytes, jitter=_jit,
+                )
+
+        network = NdpNetwork.build(
+            eventlist, BackToBackTopology, config=config, seed=seed,
+            pacer_factory=pacer_factory,
+        )
+        flow = network.create_flow(0, 1, flow_bytes)
+        eventlist.run(until=units.milliseconds(60))
+        rows.append(
+            {
+                "initial_window": window,
+                "throughput_gbps": flow.record.throughput_bps() / 1e9
+                if flow.complete
+                else 0.0,
+            }
+        )
+    return rows
+
+
+def figure12_pull_spacing(
+    packet_sizes: Sequence[int] = (1500, 9000),
+    samples: int = 5000,
+    seed: int = 1,
+) -> Dict[int, Dict[str, float]]:
+    """Distribution of pull spacing for 1500 B and 9000 B packets (us)."""
+    result = {}
+    for size in packet_sizes:
+        target = units.serialization_time_ps(size, units.DEFAULT_LINK_RATE_BPS)
+        jitter = PullSpacingJitter(
+            sigma=0.35 if size <= 1500 else 0.15, rng=random.Random(seed)
+        )
+        values = [v / units.MICROSECOND for v in jitter.sample_many(target, samples)]
+        result[size] = {
+            "target_us": target / units.MICROSECOND,
+            "median_us": metrics.percentile(values, 0.5),
+            "p10_us": metrics.percentile(values, 0.1),
+            "p90_us": metrics.percentile(values, 0.9),
+        }
+    return result
+
+
+def figure13_incast_pull_jitter(
+    flow_sizes: Sequence[int] = (15_000, 30_000, 60_000, 90_000, 120_000),
+    senders: int = 32,
+    seed: int = 1,
+) -> List[Dict[str, float]]:
+    """Incast completion with perfect vs experimentally-jittered pull spacing."""
+    rows = []
+    for size in flow_sizes:
+        perfect = _incast_fct_with_pacer(size, senders, jittered=False, seed=seed)
+        jittered = _incast_fct_with_pacer(size, senders, jittered=True, seed=seed)
+        rows.append(
+            {
+                "flow_kb": size / 1000,
+                "perfect_us": perfect / units.MICROSECOND,
+                "experimental_us": jittered / units.MICROSECOND,
+            }
+        )
+    return rows
+
+
+def _incast_fct_with_pacer(size, senders, jittered, seed):
+    config = NdpConfig(mtu_bytes=1500, header_queue_bytes=8 * 1500)
+    eventlist = EventList()
+    pacer_factory = None
+    if jittered:
+        jitter = PullSpacingJitter(sigma=0.35, rng=random.Random(seed))
+
+        def pacer_factory(host, _evl=eventlist, _cfg=config, _jit=jitter):
+            return JitteredPullPacer(
+                _evl, link_rate_bps=units.DEFAULT_LINK_RATE_BPS,
+                mtu_bytes=_cfg.mtu_bytes, jitter=_jit,
+            )
+
+    network = NdpNetwork.build(
+        eventlist, SingleSwitchTopology, hosts=senders + 1, config=config,
+        seed=seed, pacer_factory=pacer_factory,
+    )
+    flows = [network.create_flow(src, 0, size) for src in range(1, senders + 1)]
+    result = experiment.run_until_complete(network, flows, units.seconds(1))
+    return int(result.last_completion_us() * units.MICROSECOND)
+
+
+# ---------------------------------------------------------------------------
+# Figure 14 — permutation throughput across protocols
+# ---------------------------------------------------------------------------
+
+def figure14_permutation_throughput(
+    k: int = 4,
+    flow_bytes: int = 200_000_000,
+    duration_ps: int = units.milliseconds(2),
+    protocols: Optional[Sequence[str]] = None,
+    seed: int = 3,
+) -> Dict[str, experiment.ThroughputResult]:
+    """Per-flow goodput of a permutation matrix for each protocol."""
+    protocols = list(protocols) if protocols is not None else list(PROTOCOL_BUILDERS)
+    results = {}
+    for name in protocols:
+        builder = PROTOCOL_BUILDERS[name]
+        eventlist = EventList()
+        network = builder.build(eventlist, FatTreeTopology, k=k, seed=seed)
+        flows = experiment.start_permutation(network, flow_bytes, rng=random.Random(seed))
+        results[name] = experiment.measure_throughput(network, flows, duration_ps)
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Figure 15 — short-flow FCT with background load
+# ---------------------------------------------------------------------------
+
+def figure15_short_flow_fct(
+    k: int = 4,
+    short_bytes: int = 90_000,
+    short_flows: int = 12,
+    background_bytes: int = 50_000_000,
+    background_flows_per_host: int = 2,
+    protocols: Optional[Sequence[str]] = None,
+    seed: int = 5,
+) -> Dict[str, List[float]]:
+    """FCTs (us) of repeated 90 KB transfers between two otherwise idle hosts.
+
+    Every other host sources long-running background flows to random
+    destinations, loading the fabric; the 90 KB transfers between hosts 0
+    and 1 then measure the queueing those background flows induce.
+    """
+    protocols = list(protocols) if protocols is not None else list(PROTOCOL_BUILDERS)
+    results: Dict[str, List[float]] = {}
+    for name in protocols:
+        builder = PROTOCOL_BUILDERS[name]
+        eventlist = EventList()
+        network = builder.build(eventlist, FatTreeTopology, k=k, seed=seed)
+        rng = random.Random(seed)
+        hosts = network.topology.hosts()
+        # the two probe hosts sit in different pods so their transfers cross
+        # the core, where the background flows' standing queues live
+        probe_a, probe_b = hosts[0], hosts[-1]
+        for src in hosts:
+            if src in (probe_a, probe_b):
+                continue
+            for _ in range(background_flows_per_host):
+                dst = src
+                while dst == src or dst in (probe_a, probe_b):
+                    dst = rng.choice(hosts)
+                network.create_flow(src, dst, background_bytes)
+        # let the background flows load the network before measuring
+        eventlist.run(until=units.milliseconds(1))
+        fcts = []
+        for index in range(short_flows):
+            src, dst = (probe_a, probe_b) if index % 2 == 0 else (probe_b, probe_a)
+            flow = network.create_flow(src, dst, short_bytes, start_time_ps=eventlist.now())
+            experiment.run_until_complete(network, [flow], units.milliseconds(400))
+            if flow.record.completed:
+                fcts.append(flow.record.completion_time_ps() / units.MICROSECOND)
+        results[name] = fcts
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Figure 16 — incast completion time vs number of senders
+# ---------------------------------------------------------------------------
+
+def figure16_incast_scaling(
+    sender_counts: Sequence[int] = (4, 8, 16, 32),
+    response_bytes: int = 450_000,
+    protocols: Optional[Sequence[str]] = None,
+    seed: int = 7,
+) -> List[Dict[str, float]]:
+    """Last-flow completion time of an incast vs the number of senders (ms)."""
+    protocols = list(protocols) if protocols is not None else list(PROTOCOL_BUILDERS)
+    rows = []
+    for senders in sender_counts:
+        row: Dict[str, float] = {"senders": senders}
+        for name in protocols:
+            builder = PROTOCOL_BUILDERS[name]
+            last = _incast_last_fct(
+                builder, response_bytes, senders=senders, seed=seed,
+                timeout_ps=units.seconds(3),
+            )
+            row[name] = last / units.MILLISECOND
+        row["ideal_ms"] = metrics.ideal_incast_completion_ps(
+            senders, response_bytes, units.DEFAULT_LINK_RATE_BPS, 9000, 64
+        ) / units.MILLISECOND
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 17 — IW / buffer-size sensitivity
+# ---------------------------------------------------------------------------
+
+def figure17_buffer_sensitivity(
+    windows: Sequence[int] = (5, 10, 15, 20, 30, 40),
+    configurations: Optional[Sequence[Tuple[str, int, int]]] = None,
+    k: int = 4,
+    flow_bytes: int = 200_000_000,
+    duration_ps: int = units.milliseconds(2),
+    seed: int = 9,
+) -> List[Dict[str, float]]:
+    """Permutation utilization vs IW for several buffer/MTU configurations.
+
+    ``configurations`` is a list of ``(label, buffer_packets, mtu_bytes)``;
+    the default matches the four curves of Figure 17.
+    """
+    if configurations is None:
+        configurations = (
+            ("6pkt 9K MTU", 6, 9000),
+            ("8pkt 9K MTU", 8, 9000),
+            ("10pkt 9K MTU", 10, 9000),
+            ("8pkt 1.5K MTU", 8, 1500),
+        )
+    rows = []
+    for label, buffer_packets, mtu in configurations:
+        for window in windows:
+            config = NdpConfig(
+                mtu_bytes=mtu,
+                data_queue_packets=buffer_packets,
+                header_queue_bytes=buffer_packets * mtu,
+                initial_window_packets=window,
+            )
+            eventlist = EventList()
+            network = NdpNetwork.build(eventlist, FatTreeTopology, k=k, config=config, seed=seed)
+            flows = experiment.start_permutation(network, flow_bytes, rng=random.Random(seed))
+            result = experiment.measure_throughput(network, flows, duration_ps)
+            rows.append(
+                {
+                    "configuration": label,
+                    "initial_window": window,
+                    "utilization_percent": 100 * result.utilization,
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 19 — collateral damage of an incast on a nearby long flow
+# ---------------------------------------------------------------------------
+
+def figure19_collateral_damage(
+    protocols: Optional[Sequence[str]] = None,
+    incast_senders: int = 16,
+    incast_bytes: int = 900_000,
+    sample_period_ps: int = units.microseconds(250),
+    duration_ps: int = units.milliseconds(30),
+    seed: int = 11,
+) -> Dict[str, Dict[str, List[Tuple[int, float]]]]:
+    """Goodput-vs-time of a long flow while an incast hits a neighbour host.
+
+    Setup of Figure 18: the long flow and the incast target are on the same
+    ToR; the incast starts a few milliseconds into the run.  Returns, per
+    protocol, two time series (``long_flow`` and ``incast``) of goodput in
+    bits/second.
+    """
+    protocols = list(protocols) if protocols is not None else ["NDP", "DCTCP", "DCQCN"]
+    output: Dict[str, Dict[str, List[Tuple[int, float]]]] = {}
+    for name in protocols:
+        builder = PROTOCOL_BUILDERS[name]
+        eventlist = EventList()
+        network = builder.build(
+            eventlist, LeafSpineTopology,
+            leaves=2, spines=2, hosts_per_leaf=max(2, incast_senders // 2), seed=seed,
+        )
+        hosts = network.topology.hosts()
+        long_dst, incast_dst = 0, 1
+        remote_hosts = [h for h in hosts if network.topology.leaf_of_host(h) != network.topology.leaf_of_host(0)]
+        long_src = remote_hosts[0]
+        incast_srcs = [h for h in remote_hosts[1:]] + [
+            h for h in hosts if h not in (long_dst, incast_dst, long_src) and h not in remote_hosts
+        ]
+        incast_srcs = incast_srcs[:incast_senders]
+        long_flow = network.create_flow(long_src, long_dst, 10 * incast_bytes * incast_senders)
+        incast_start = units.milliseconds(5)
+        incast_flows = [
+            network.create_flow(src, incast_dst, incast_bytes, start_time_ps=incast_start)
+            for src in incast_srcs
+        ]
+        long_rate = RateEstimator()
+        incast_rate = RateEstimator()
+        long_series = TimeSeriesSampler(
+            eventlist, sample_period_ps,
+            lambda: long_rate.update(eventlist.now(), long_flow.record.bytes_delivered),
+        )
+        incast_series = TimeSeriesSampler(
+            eventlist, sample_period_ps,
+            lambda: incast_rate.update(
+                eventlist.now(), sum(f.record.bytes_delivered for f in incast_flows)
+            ),
+        )
+        long_series.start()
+        incast_series.start()
+        eventlist.run(until=duration_ps)
+        output[name] = {
+            "long_flow": long_series.samples,
+            "incast": incast_series.samples,
+            "pause_events": sum(q.stats.pause_events for q in network.topology.all_queues()),
+        }
+    return output
+
+
+# ---------------------------------------------------------------------------
+# Figure 20 — very large incasts: overhead and retransmission mechanisms
+# ---------------------------------------------------------------------------
+
+def figure20_large_incast(
+    sender_counts: Sequence[int] = (8, 32, 128, 256),
+    initial_windows: Sequence[int] = (1, 10, 23),
+    packets_per_flow: int = 30,
+    seed: int = 13,
+) -> List[Dict[str, float]]:
+    """Completion-time overhead and retransmission mechanism vs incast size."""
+    rows = []
+    mtu = 9000
+    payload = mtu - 64
+    flow_bytes = packets_per_flow * payload
+    for window in initial_windows:
+        config = NdpConfig(initial_window_packets=window)
+        for senders in sender_counts:
+            eventlist = EventList()
+            network = NdpNetwork.build(
+                eventlist, SingleSwitchTopology, hosts=senders + 1, config=config, seed=seed
+            )
+            flows = [
+                network.create_flow(src, 0, flow_bytes) for src in range(1, senders + 1)
+            ]
+            experiment.run_until_complete(network, flows, units.seconds(3))
+            finish = max(f.record.finish_time_ps or 0 for f in flows)
+            ideal = metrics.ideal_incast_completion_ps(
+                senders, flow_bytes, units.DEFAULT_LINK_RATE_BPS, mtu, 64
+            )
+            total_packets = senders * packets_per_flow
+            nack_rtx = sum(f.src.nacks_received for f in flows)
+            bounce_rtx = sum(f.src.bounces_received for f in flows)
+            rows.append(
+                {
+                    "initial_window": window,
+                    "senders": senders,
+                    "overhead_percent": 100 * (finish - ideal) / ideal,
+                    "rtx_per_packet_nack": nack_rtx / total_packets,
+                    "rtx_per_packet_bounce": bounce_rtx / total_packets,
+                    "all_complete": all(f.complete for f in flows),
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 21 — sender-limited traffic
+# ---------------------------------------------------------------------------
+
+def figure21_sender_limited(
+    duration_ps: int = units.milliseconds(4),
+    seed: int = 15,
+) -> Dict[str, float]:
+    """Throughput of A→{B,C,D,E} plus F→E (Gb/s), as in the Figure 21 table."""
+    eventlist = EventList()
+    network = NdpNetwork.build(eventlist, SingleSwitchTopology, hosts=6, seed=seed)
+    labels = {0: "A", 1: "B", 2: "C", 3: "D", 4: "E", 5: "F"}
+    flows = {}
+    for dst in (1, 2, 3, 4):
+        flows[f"A->{labels[dst]}"] = network.create_flow(0, dst, 20_000_000)
+    flows["F->E"] = network.create_flow(5, 4, 20_000_000)
+    eventlist.run(until=duration_ps)
+    result = {
+        name: metrics.goodput_bps(flow.record, duration_ps) / 1e9
+        for name, flow in flows.items()
+    }
+    result["total_from_A"] = sum(v for k, v in result.items() if k.startswith("A->"))
+    result["total_to_E"] = result["A->E"] + result["F->E"]
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 22 — asymmetry (a degraded core link)
+# ---------------------------------------------------------------------------
+
+def figure22_asymmetry(
+    k: int = 4,
+    degraded_rate_bps: int = units.gbps(1),
+    flow_bytes: int = 200_000_000,
+    duration_ps: int = units.milliseconds(3),
+    seed: int = 17,
+) -> Dict[str, experiment.ThroughputResult]:
+    """Permutation throughput with one core↔aggregation link at 1 Gb/s.
+
+    Compares NDP, NDP without the path-penalty scoreboard (the ablation),
+    MPTCP and DCTCP.
+    """
+    results = {}
+    cases = {
+        "NDP": (NdpNetwork, NdpConfig()),
+        "NDP (no path penalty)": (NdpNetwork, NdpConfig(path_penalty=False)),
+        "MPTCP": (MptcpNetwork, None),
+        "DCTCP": (DctcpNetwork, None),
+    }
+    for name, (builder, config) in cases.items():
+        eventlist = EventList()
+        kwargs = {"config": config} if config is not None else {}
+        network = builder.build(eventlist, FatTreeTopology, k=k, seed=seed, **kwargs)
+        network.topology.degrade_core_link(core=0, pod=k - 1, new_rate_bps=degraded_rate_bps)
+        flows = experiment.start_permutation(network, flow_bytes, rng=random.Random(seed))
+        results[name] = experiment.measure_throughput(network, flows, duration_ps)
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Figure 23 — oversubscribed fabric, Facebook web workload
+# ---------------------------------------------------------------------------
+
+def figure23_oversubscribed_web(
+    k: int = 4,
+    oversubscription: float = 4.0,
+    connections_per_host: Sequence[int] = (2, 5),
+    duration_ps: int = units.milliseconds(40),
+    protocols: Optional[Sequence[str]] = None,
+    seed: int = 19,
+) -> List[Dict[str, object]]:
+    """FCT distribution of a web-like workload on a 4:1 oversubscribed fabric.
+
+    Closed-loop flow arrivals with Facebook-web flow sizes; one row per
+    (protocol, load level) with median/p99 FCT in us, completed flow count
+    and the fraction of packets trimmed at ToR uplinks (NDP only).
+    """
+    protocols = list(protocols) if protocols is not None else ["NDP", "DCTCP"]
+    ndp_config = NdpConfig(mtu_bytes=1500, header_queue_bytes=8 * 1500)
+    rows = []
+    for name in protocols:
+        builder = PROTOCOL_BUILDERS[name]
+        for load in connections_per_host:
+            eventlist = EventList()
+            kwargs = {"config": ndp_config} if name == "NDP" else {}
+            network = builder.build(
+                eventlist, FatTreeTopology, k=k,
+                oversubscription=oversubscription, seed=seed, **kwargs,
+            )
+            generator = ClosedLoopGenerator(
+                eventlist,
+                network,
+                hosts=network.topology.hosts(),
+                flow_sizes=FacebookWebFlowSizes(),
+                connections_per_host=load,
+                think_time_ps=units.milliseconds(1),
+                rng=random.Random(seed),
+            )
+            generator.start()
+            eventlist.run(until=duration_ps)
+            fcts = [
+                record.completion_time_ps() / units.MICROSECOND
+                for record in generator.completed_records()
+            ]
+            trimmed = network.topology.total_trimmed()
+            rows.append(
+                {
+                    "protocol": name,
+                    "connections_per_host": load,
+                    "completed_flows": len(fcts),
+                    "median_fct_us": metrics.percentile(fcts, 0.5) if fcts else None,
+                    "p99_fct_us": metrics.percentile(fcts, 0.99) if fcts else None,
+                    "packets_trimmed": trimmed,
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# §6.2 text — pHost comparison and uplink-trimming load-balancing study
+# ---------------------------------------------------------------------------
+
+def phost_comparison(
+    k: int = 4,
+    incast_senders: int = 24,
+    incast_bytes: int = 270_000,
+    permutation_bytes: int = 100_000_000,
+    duration_ps: int = units.milliseconds(2),
+    seed: int = 21,
+) -> Dict[str, float]:
+    """NDP vs pHost: incast completion (ms) and permutation utilization."""
+    results = {}
+    for name, builder in (("NDP", NdpNetwork), ("pHost", PHostNetwork)):
+        last = _incast_last_fct(
+            builder, incast_bytes, senders=incast_senders, seed=seed,
+            timeout_ps=units.seconds(3),
+        )
+        eventlist = EventList()
+        network = builder.build(eventlist, FatTreeTopology, k=k, seed=seed)
+        flows = experiment.start_permutation(network, permutation_bytes, rng=random.Random(seed))
+        throughput = experiment.measure_throughput(network, flows, duration_ps)
+        results[f"{name}_incast_ms"] = last / units.MILLISECOND
+        results[f"{name}_permutation_utilization"] = throughput.utilization
+    return results
+
+
+def uplink_trimming_study(
+    k: int = 4,
+    flow_bytes: int = 100_000_000,
+    duration_ps: int = units.milliseconds(2),
+    seed: int = 23,
+) -> Dict[str, Dict[str, float]]:
+    """Fraction of packets trimmed on uplinks: sender permutation vs random ECMP.
+
+    Reproduces the load-balancing claim of §"Congestion Control": with
+    sender-driven path permutation almost nothing is trimmed above the ToR,
+    whereas per-packet random path choice (switch ECMP) trims noticeably more.
+    """
+    results = {}
+    for mode in ("permutation", "random"):
+        config = NdpConfig(path_selection_mode=mode)
+        eventlist = EventList()
+        network = NdpNetwork.build(eventlist, FatTreeTopology, k=k, config=config, seed=seed)
+        flows = experiment.start_permutation(network, flow_bytes, rng=random.Random(seed))
+        eventlist.run(until=duration_ps)
+        uplink_trims = sum(q.stats.packets_trimmed for q in network.topology.uplink_queues())
+        total_forwarded = sum(
+            q.stats.packets_forwarded for q in network.topology.uplink_queues()
+        )
+        results[mode] = {
+            "uplink_trimmed": uplink_trims,
+            "uplink_forwarded": total_forwarded,
+            "uplink_trim_fraction": uplink_trims / max(total_forwarded, 1),
+            "utilization": experiment.measure_throughput(
+                network, flows, duration_ps, run=False
+            ).utilization,
+        }
+    return results
+
+
+def scaling_utilization(
+    ks: Sequence[int] = (4, 6, 8),
+    flow_bytes: int = 200_000_000,
+    duration_ps: int = units.milliseconds(2),
+    seed: int = 25,
+) -> List[Dict[str, float]]:
+    """NDP permutation utilization as the FatTree grows (§6.2 'Larger topologies')."""
+    rows = []
+    for k in ks:
+        eventlist = EventList()
+        network = NdpNetwork.build(eventlist, FatTreeTopology, k=k, seed=seed)
+        flows = experiment.start_permutation(network, flow_bytes, rng=random.Random(seed))
+        result = experiment.measure_throughput(network, flows, duration_ps)
+        rows.append(
+            {
+                "k": k,
+                "hosts": network.topology.host_count,
+                "utilization_percent": 100 * result.utilization,
+            }
+        )
+    return rows

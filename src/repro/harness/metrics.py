@@ -1,0 +1,140 @@
+"""Metrics the paper reports: FCT percentiles, utilization, ideal baselines.
+
+Nothing here depends on the protocols; the functions operate on plain
+numbers and :class:`~repro.sim.logger.FlowRecord` objects so that every
+transport (NDP, TCP, DCTCP, MPTCP, DCQCN, pHost, CP) is measured the same
+way.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.sim.logger import FlowRecord
+from repro.sim.units import SECOND, serialization_time_ps
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence (convenient in reports)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """The *fraction*-th percentile (0..1) using linear interpolation."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("cannot take a percentile of an empty sequence")
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = fraction * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    weight = position - low
+    # interpolate as base + span*weight: exact when both samples are equal,
+    # and never escapes the [low, high] interval through rounding
+    return ordered[low] + (ordered[high] - ordered[low]) * weight
+
+
+def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Return ``(value, cumulative_fraction)`` points for plotting a CDF."""
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(value, (index + 1) / n) for index, value in enumerate(ordered)]
+
+
+def ideal_transfer_time_ps(
+    size_bytes: int,
+    link_rate_bps: int,
+    mtu_bytes: int,
+    header_bytes: int,
+    base_rtt_ps: int = 0,
+) -> int:
+    """Lower bound on the time to deliver *size_bytes* over one link.
+
+    Accounts for per-packet header overhead and an optional propagation
+    component; used to express completion times as "percent over optimal"
+    (Figures 9 and 20).
+    """
+    payload_per_packet = mtu_bytes - header_bytes
+    packets = (size_bytes + payload_per_packet - 1) // payload_per_packet
+    wire_bytes = size_bytes + packets * header_bytes
+    return serialization_time_ps(wire_bytes, link_rate_bps) + base_rtt_ps
+
+
+def ideal_incast_completion_ps(
+    senders: int,
+    bytes_per_sender: int,
+    link_rate_bps: int,
+    mtu_bytes: int,
+    header_bytes: int,
+    base_rtt_ps: int = 0,
+) -> int:
+    """Best-case completion time of an incast: the receiver link never idles."""
+    return ideal_transfer_time_ps(
+        senders * bytes_per_sender, link_rate_bps, mtu_bytes, header_bytes, base_rtt_ps
+    )
+
+
+def fair_share_fraction(
+    achieved_bps: float, link_rate_bps: int, competitors: int
+) -> float:
+    """Goodput achieved as a fraction of an equal share of the bottleneck."""
+    if competitors <= 0:
+        raise ValueError("competitors must be positive")
+    fair = link_rate_bps / competitors
+    if fair == 0:
+        return 0.0
+    return achieved_bps / fair
+
+
+def utilization_from_records(
+    records: Iterable[FlowRecord],
+    duration_ps: int,
+    link_rate_bps: int,
+    receivers: int,
+) -> float:
+    """Aggregate receive-side utilization over a run.
+
+    Sums goodput bytes across flows and normalizes by how much the receiving
+    hosts' links could have carried in *duration_ps*.  This is the
+    "network utilization" metric of the permutation experiments (Figures 14,
+    17 and the scaling study): in a permutation each receiver has exactly one
+    incoming flow, so per-receiver goodput / link rate is the per-host
+    utilization.
+    """
+    if duration_ps <= 0:
+        raise ValueError("duration must be positive")
+    if receivers <= 0:
+        raise ValueError("receivers must be positive")
+    total_bytes = sum(record.bytes_delivered for record in records)
+    capacity_bytes = receivers * link_rate_bps * duration_ps / (8 * SECOND)
+    if capacity_bytes == 0:
+        return 0.0
+    return total_bytes / capacity_bytes
+
+
+def goodput_bps(record: FlowRecord, duration_ps: int) -> float:
+    """Goodput of one flow over a fixed observation window."""
+    if duration_ps <= 0:
+        raise ValueError("duration must be positive")
+    return record.bytes_delivered * 8 * SECOND / duration_ps
+
+
+def summarize_fcts_us(records: Iterable[FlowRecord]) -> dict:
+    """Median/90th/99th/max completion times (in microseconds) of finished flows."""
+    done = [r.completion_time_ps() / 1e6 for r in records if r.completed]
+    if not done:
+        return {"count": 0}
+    return {
+        "count": len(done),
+        "median_us": percentile(done, 0.5),
+        "p90_us": percentile(done, 0.9),
+        "p99_us": percentile(done, 0.99),
+        "max_us": max(done),
+        "mean_us": mean(done),
+    }

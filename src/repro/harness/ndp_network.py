@@ -1,0 +1,200 @@
+"""Convenience layer that wires NDP endpoints onto a topology.
+
+A :class:`NdpNetwork` owns:
+
+* the topology (whose switch ports must be NDP trimming queues — use
+  :meth:`NdpNetwork.build` to construct topology and network together),
+* one :class:`~repro.core.pull_queue.NdpPullPacer` per host (the paper's
+  single shared pull queue per receiving interface), and
+* the per-flow senders and sinks created through :meth:`create_flow`.
+
+Every other transport in :mod:`repro.transports` provides an equivalent
+``*Network`` class with the same ``create_flow`` interface, which is what
+lets the workload runners in :mod:`repro.harness.experiment` drive all
+protocols identically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Type
+
+from repro.core.config import NdpConfig
+from repro.core.pull_queue import NdpPullPacer
+from repro.core.receiver import NdpSink
+from repro.core.sender import NdpSrc
+from repro.core.switch import NdpSwitchQueue
+from repro.sim.eventlist import EventList
+from repro.sim.logger import FlowRecord
+from repro.sim.queues import DropTailQueue
+from repro.topology.base import Topology
+
+
+@dataclass
+class NdpFlow:
+    """Handle returned by :meth:`NdpNetwork.create_flow`."""
+
+    flow_id: int
+    src: NdpSrc
+    sink: NdpSink
+
+    @property
+    def record(self) -> FlowRecord:
+        """The receiver-side flow record (start, finish, bytes delivered)."""
+        return self.sink.record
+
+    @property
+    def sender_record(self) -> FlowRecord:
+        """The sender-side record (includes retransmission counters)."""
+        return self.src.record
+
+    @property
+    def complete(self) -> bool:
+        """True once the receiver has every packet of the transfer."""
+        return self.sink.complete
+
+
+class NdpNetwork:
+    """Bind NDP senders, sinks and pull pacers to an existing topology."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: Optional[NdpConfig] = None,
+        seed: int = 1,
+        pacer_factory: Optional[Callable[[int], NdpPullPacer]] = None,
+    ) -> None:
+        self.topology = topology
+        self.eventlist = topology.eventlist
+        self.config = config if config is not None else NdpConfig()
+        self.rng = random.Random(seed)
+        self._pacers: Dict[int, NdpPullPacer] = {}
+        self._pacer_factory = pacer_factory
+        self._next_flow_id = 0
+        self.flows: List[NdpFlow] = []
+
+    # --- construction ----------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        eventlist: EventList,
+        topology_cls: Type[Topology],
+        config: Optional[NdpConfig] = None,
+        seed: int = 1,
+        pacer_factory: Optional[Callable[[int], NdpPullPacer]] = None,
+        **topology_kwargs,
+    ) -> "NdpNetwork":
+        """Create a topology whose switch ports are NDP queues, plus the network.
+
+        Host NICs are plain FIFO queues (hosts do not trim their own
+        packets); every switch output port is an
+        :class:`~repro.core.switch.NdpSwitchQueue` configured from *config*.
+        ``pacer_factory`` (host id → pacer) lets experiments substitute e.g.
+        the :class:`~repro.hosts.processing.JitteredPullPacer` host model.
+        """
+        config = config if config is not None else NdpConfig()
+        queue_rng = random.Random(seed + 7919)
+
+        def ndp_queue_factory(evl: EventList, rate_bps: int, name: str) -> NdpSwitchQueue:
+            return NdpSwitchQueue(evl, rate_bps, config=config, rng=queue_rng, name=name)
+
+        def nic_factory(evl: EventList, rate_bps: int, name: str) -> DropTailQueue:
+            capacity = max(512, 4 * config.initial_window_packets) * config.mtu_bytes
+            return DropTailQueue(evl, rate_bps, capacity, name=name)
+
+        topology = topology_cls(
+            eventlist,
+            queue_factory=ndp_queue_factory,
+            host_nic_factory=nic_factory,
+            **topology_kwargs,
+        )
+        return cls(topology, config=config, seed=seed, pacer_factory=pacer_factory)
+
+    # --- flows ----------------------------------------------------------------------
+
+    def pacer_for(self, host: int) -> NdpPullPacer:
+        """The (single, shared) pull pacer of *host*, created on first use."""
+        pacer = self._pacers.get(host)
+        if pacer is None:
+            if self._pacer_factory is not None:
+                pacer = self._pacer_factory(host)
+            else:
+                pacer = NdpPullPacer(
+                    self.eventlist,
+                    link_rate_bps=self.topology.link_rate_bps,
+                    mtu_bytes=self.config.mtu_bytes,
+                    rate_fraction=self.config.pull_rate_fraction,
+                    name=f"pull-pacer-host{host}",
+                )
+            self._pacers[host] = pacer
+        return pacer
+
+    def create_flow(
+        self,
+        src_host: int,
+        dst_host: int,
+        size_bytes: int,
+        start_time_ps: int = 0,
+        priority: bool = False,
+        record_packet_latencies: bool = False,
+        config: Optional[NdpConfig] = None,
+        on_complete: Optional[Callable[[NdpSrc], None]] = None,
+    ) -> NdpFlow:
+        """Create one NDP transfer of *size_bytes* from *src_host* to *dst_host*.
+
+        The sender is scheduled to push its initial window at
+        *start_time_ps*; the returned handle exposes both endpoints and their
+        flow records.
+        """
+        flow_config = config if config is not None else self.config
+        flow_id = self._next_flow_id
+        self._next_flow_id += 1
+        forward_paths = self.topology.get_paths(src_host, dst_host)
+        reverse_paths = self.topology.get_paths(dst_host, src_host)
+
+        src = NdpSrc(
+            eventlist=self.eventlist,
+            flow_id=flow_id,
+            node_id=src_host,
+            dst_node_id=dst_host,
+            flow_size_bytes=size_bytes,
+            routes=forward_paths,  # fabric-only for now; finalized below
+            config=flow_config,
+            rng=random.Random(self.rng.randrange(2**62)),
+            on_complete=on_complete,
+            record_packet_latencies=record_packet_latencies,
+        )
+        sink = NdpSink(
+            eventlist=self.eventlist,
+            flow_id=flow_id,
+            node_id=dst_host,
+            pacer=self.pacer_for(dst_host),
+            reverse_routes=[route.extended(src) for route in reverse_paths],
+            config=flow_config,
+            rng=random.Random(self.rng.randrange(2**62)),
+            priority=priority,
+        )
+        # Forward routes terminate at the sink; they can only be finalized once
+        # the sink exists, hence the two-step wiring.
+        src.set_destination_routes([route.extended(sink) for route in forward_paths])
+        src.connect(sink)
+        src.start(start_time_ps)
+        # flow completion time is measured from when the sender starts pushing
+        # (not from the first arrival), so single-packet transfers have a
+        # meaningful FCT
+        sink.record.start_time_ps = start_time_ps
+        flow = NdpFlow(flow_id=flow_id, src=src, sink=sink)
+        self.flows.append(flow)
+        return flow
+
+    # --- reporting --------------------------------------------------------------------
+
+    def records(self) -> List[FlowRecord]:
+        """Receiver-side flow records of every flow created so far."""
+        return [flow.record for flow in self.flows]
+
+    def completed_flows(self) -> List[NdpFlow]:
+        """Flows whose transfers have fully arrived."""
+        return [flow for flow in self.flows if flow.complete]

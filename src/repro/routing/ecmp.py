@@ -1,0 +1,63 @@
+"""ECMP-style path selection.
+
+The simulator models routing by letting the *sender* attach an explicit
+route to each packet, so "switch ECMP" becomes a deterministic hash of the
+flow identifier over the available paths (per-flow ECMP) or a uniformly
+random choice per packet (per-packet ECMP).  Both reproduce the collision
+behaviour of the real mechanisms without modelling per-switch hash tables.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Optional, Sequence
+
+from repro.sim.packet import Route
+
+
+def flow_hash(flow_id: int, salt: int = 0) -> int:
+    """A stable, well-mixed hash of a flow identifier.
+
+    Python's builtin ``hash`` of an int is the identity, which would make
+    "ECMP" assign consecutive flow ids to consecutive paths and hide the
+    collisions the paper attributes to ECMP.  A few bytes of SHA-1 give the
+    uniform spread real switch hash functions aim for.
+    """
+    digest = hashlib.sha1(f"{flow_id}:{salt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def ecmp_path(paths: Sequence[Route], flow_id: int, salt: int = 0) -> Route:
+    """Pick the single path a per-flow-ECMP fabric would give this flow."""
+    if not paths:
+        raise ValueError("ecmp_path needs at least one path")
+    return paths[flow_hash(flow_id, salt) % len(paths)]
+
+
+class EcmpFlowSelector:
+    """Per-flow ECMP: every flow gets one fixed, hash-chosen path."""
+
+    def __init__(self, paths: Sequence[Route], salt: int = 0) -> None:
+        if not paths:
+            raise ValueError("EcmpFlowSelector needs at least one path")
+        self.paths = list(paths)
+        self.salt = salt
+
+    def path_for_flow(self, flow_id: int) -> Route:
+        """The path assigned to *flow_id* (stable across calls)."""
+        return ecmp_path(self.paths, flow_id, self.salt)
+
+
+class RandomPacketSelector:
+    """Per-packet ECMP: a uniformly random path for every packet."""
+
+    def __init__(self, paths: Sequence[Route], rng: Optional[random.Random] = None) -> None:
+        if not paths:
+            raise ValueError("RandomPacketSelector needs at least one path")
+        self.paths = list(paths)
+        self.rng = rng if rng is not None else random.Random(0)
+
+    def next_route(self) -> Route:
+        """A fresh random path (API-compatible with PathManager)."""
+        return self.rng.choice(self.paths)

@@ -1,0 +1,119 @@
+"""Deterministic discrete-event scheduler.
+
+The :class:`EventList` is the single source of simulated time.  Network
+elements never sleep or poll; they schedule callbacks at absolute
+(picosecond) timestamps and the event list executes them in order.  Ties are
+broken by insertion order, which keeps runs bit-for-bit reproducible for a
+given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are returned by :meth:`EventList.schedule` so callers can cancel
+    them (for example a retransmission timer that is no longer needed).
+    Cancellation is lazy: the entry stays in the heap but is skipped when it
+    reaches the front.
+    """
+
+    __slots__ = ("time", "callback", "args", "cancelled")
+
+    def __init__(self, time: int, callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (no-op if it already ran)."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time}, {getattr(self.callback, '__name__', self.callback)}, {state})"
+
+
+class EventList:
+    """Priority queue of simulation events keyed by picosecond timestamps."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Event]] = []
+        self._now: int = 0
+        self._sequence: int = 0
+        self._stopped: bool = False
+        self.events_executed: int = 0
+
+    def now(self) -> int:
+        """Current simulated time in picoseconds."""
+        return self._now
+
+    def schedule(self, when: int, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule *callback(*args)* at absolute time *when* (picoseconds).
+
+        Scheduling in the past raises ``ValueError`` — that is always a bug in
+        the caller, and silently clamping it would mask protocol errors.
+        """
+        if when < self._now:
+            raise ValueError(
+                f"cannot schedule event at {when} ps: current time is {self._now} ps"
+            )
+        event = Event(when, callback, args)
+        self._sequence += 1
+        heapq.heappush(self._heap, (when, self._sequence, event))
+        return event
+
+    def schedule_in(self, delay: int, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule *callback(*args)* after *delay* picoseconds."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule(self._now + delay, callback, *args)
+
+    def stop(self) -> None:
+        """Stop the run loop after the currently executing event returns."""
+        self._stopped = True
+
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._heap)
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Execute events in time order.
+
+        Parameters
+        ----------
+        until:
+            Optional absolute timestamp (picoseconds).  Events scheduled
+            strictly after this time are left in the queue and the clock is
+            advanced to *until* when the run completes.
+        max_events:
+            Optional safety limit on the number of callbacks executed.
+
+        Returns
+        -------
+        int
+            The simulated time at which the run stopped.
+        """
+        self._stopped = False
+        executed = 0
+        while self._heap and not self._stopped:
+            when, _seq, event = self._heap[0]
+            if until is not None and when > until:
+                break
+            heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = when
+            event.callback(*event.args)
+            executed += 1
+            self.events_executed += 1
+            if max_events is not None and executed >= max_events:
+                break
+        if until is not None and not self._stopped and self._now < until:
+            self._now = until
+        return self._now

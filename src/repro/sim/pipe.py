@@ -1,0 +1,36 @@
+"""Fixed-delay propagation links.
+
+A :class:`Pipe` models the propagation delay of a cable (plus any fixed
+per-hop switching latency the experimenter wants to fold in).  Pipes never
+drop, reorder or serialize packets — serialization happens in the queue that
+precedes the pipe — so an arbitrary number of packets can be "in flight" on a
+pipe at once.
+"""
+
+from __future__ import annotations
+
+from repro.sim.eventlist import EventList
+from repro.sim.network import PacketSink
+from repro.sim.packet import Packet
+
+
+class Pipe(PacketSink):
+    """A link with fixed one-way propagation delay."""
+
+    def __init__(self, eventlist: EventList, delay_ps: int, name: str = "pipe") -> None:
+        if delay_ps < 0:
+            raise ValueError(f"pipe delay must be non-negative, got {delay_ps}")
+        self.eventlist = eventlist
+        self.delay_ps = delay_ps
+        self.name = name
+        self.packets_carried = 0
+        self.bytes_carried = 0
+
+    def receive_packet(self, packet: Packet) -> None:
+        """Deliver *packet* to its next hop after the propagation delay."""
+        self.packets_carried += 1
+        self.bytes_carried += packet.size
+        self.eventlist.schedule_in(self.delay_ps, packet.send_to_next_hop)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Pipe({self.name}, {self.delay_ps} ps)"

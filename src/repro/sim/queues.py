@@ -1,0 +1,292 @@
+"""Output-port queues: drop-tail, ECN marking, and PFC lossless queues.
+
+Every switch port (and every host NIC) in the simulator is modelled as a
+queue that serializes packets at the port's line rate and then hands them to
+the pipe representing the cable.  Different experiments in the paper use
+different queue disciplines:
+
+* plain :class:`DropTailQueue` — MPTCP/TCP baselines and the pHost comparison;
+* :class:`ECNQueue` — DCTCP and the ECN half of DCQCN (mark above a sharp
+  threshold, the "K" parameter);
+* :class:`LosslessQueue` — priority flow control (PFC) as used by DCQCN /
+  RoCEv2: instead of dropping, a filling queue pauses the upstream ports that
+  feed it, which is what causes the collateral damage studied in §6.1.1;
+* the NDP trimming switch lives in :mod:`repro.core.switch` because it is the
+  paper's contribution rather than a substrate.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from collections import deque
+from typing import Deque, Iterable, List, Optional
+
+from repro.sim.eventlist import EventList
+from repro.sim.logger import QueueStats
+from repro.sim.network import PacketSink
+from repro.sim.packet import Packet
+from repro.sim.units import serialization_time_ps
+
+#: fraction of the buffer at which a PFC queue asks its upstream ports to pause
+PAUSE_THRESHOLD_FRACTION = 0.75
+#: fraction of the buffer at which a PFC queue lets paused upstream ports resume
+RESUME_THRESHOLD_FRACTION = 0.40
+
+
+class BaseQueue(PacketSink):
+    """Common machinery for all output-port queues.
+
+    Subclasses implement :meth:`receive_packet` (the admission policy) and can
+    override :meth:`_select_next` (the scheduling policy).  The base class
+    handles the store-and-forward service loop: one packet is serialized at a
+    time, taking ``size * 8 / rate`` seconds, after which it is forwarded to
+    the next element on its route.
+    """
+
+    def __init__(
+        self,
+        eventlist: EventList,
+        service_rate_bps: int,
+        max_queue_bytes: int,
+        name: str = "queue",
+        serialization_jitter_ps: int = 0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if service_rate_bps <= 0:
+            raise ValueError(f"service rate must be positive, got {service_rate_bps}")
+        if max_queue_bytes <= 0:
+            raise ValueError(f"queue capacity must be positive, got {max_queue_bytes}")
+        if serialization_jitter_ps < 0:
+            raise ValueError("serialization jitter must be non-negative")
+        self.eventlist = eventlist
+        self.service_rate_bps = service_rate_bps
+        self.max_queue_bytes = max_queue_bytes
+        self.name = name
+        # Optional per-packet transmission jitter.  Real NICs and switches do
+        # not transmit with picosecond periodicity; a deterministic simulator
+        # that does exhibits artificial phase effects (one of two synchronized
+        # flows can permanently lose every buffer slot).  A few hundred
+        # nanoseconds of jitter — far below a packet serialization time, so
+        # FIFO order and throughput are unaffected — restores realistic
+        # desynchronization where an experiment asks for it.
+        self.serialization_jitter_ps = serialization_jitter_ps
+        # seed from a stable digest of the name so runs are reproducible
+        # across processes (str hash() is salted per interpreter run)
+        self._jitter_rng = rng if rng is not None else random.Random(zlib.crc32(name.encode()))
+        self.stats = QueueStats()
+        self.queue_bytes = 0
+        self._busy = False
+        self._paused = False
+        self._in_service: Optional[Packet] = None
+        self._fifo: Deque[Packet] = deque()
+
+    # --- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._fifo) + (1 if self._in_service is not None else 0)
+
+    def backlog_bytes(self) -> int:
+        """Bytes currently queued (including the packet in service)."""
+        backlog = self.queue_bytes
+        if self._in_service is not None:
+            backlog += self._in_service.size
+        return backlog
+
+    def serialization_time(self, size_bytes: int) -> int:
+        """Time (ps) to put *size_bytes* on the wire at this port's rate."""
+        return serialization_time_ps(size_bytes, self.service_rate_bps)
+
+    @property
+    def paused(self) -> bool:
+        """True while a downstream PFC queue has paused this port."""
+        return self._paused
+
+    # --- admission (subclass responsibility) ---------------------------------
+
+    def receive_packet(self, packet: Packet) -> None:
+        raise NotImplementedError
+
+    # --- service loop ---------------------------------------------------------
+
+    def _enqueue(self, packet: Packet) -> None:
+        self._fifo.append(packet)
+        self.queue_bytes += packet.size
+        self.stats.packets_enqueued += 1
+        if self.queue_bytes > self.stats.max_queue_bytes:
+            self.stats.max_queue_bytes = self.queue_bytes
+        self._maybe_start_service()
+
+    def _select_next(self) -> Optional[Packet]:
+        """Pick the next packet to serialize; FIFO by default."""
+        if not self._fifo:
+            return None
+        packet = self._fifo.popleft()
+        self.queue_bytes -= packet.size
+        return packet
+
+    def _maybe_start_service(self) -> None:
+        if self._busy or self._paused:
+            return
+        packet = self._select_next()
+        if packet is None:
+            return
+        self._busy = True
+        self._in_service = packet
+        delay = self.serialization_time(packet.size)
+        if self.serialization_jitter_ps:
+            delay += self._jitter_rng.randint(0, self.serialization_jitter_ps)
+        self.eventlist.schedule_in(delay, self._complete_service)
+
+    def _complete_service(self) -> None:
+        packet = self._in_service
+        self._in_service = None
+        self._busy = False
+        if packet is not None:
+            self.stats.record_forward(packet.size, packet.is_header_only)
+            self._packet_departed(packet)
+            packet.send_to_next_hop()
+        self._maybe_start_service()
+
+    def _packet_departed(self, packet: Packet) -> None:
+        """Hook called just before a packet is forwarded (PFC bookkeeping)."""
+
+    # --- PFC pause/resume ------------------------------------------------------
+
+    def pause(self) -> None:
+        """Stop starting new transmissions (the in-flight packet completes)."""
+        if not self._paused:
+            self._paused = True
+            self.stats.pause_events += 1
+
+    def resume(self) -> None:
+        """Resume transmissions after a PFC pause."""
+        if self._paused:
+            self._paused = False
+            self._maybe_start_service()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.__class__.__name__}({self.name}, {self.backlog_bytes()}B queued)"
+
+
+class DropTailQueue(BaseQueue):
+    """A FIFO queue that drops arriving packets once the buffer is full."""
+
+    def receive_packet(self, packet: Packet) -> None:
+        if self.queue_bytes + packet.size > self.max_queue_bytes:
+            self.stats.record_drop(packet.size)
+            self._notify_drop(packet)
+            return
+        self._enqueue(packet)
+
+    def _notify_drop(self, packet: Packet) -> None:
+        """Hook for tests and derived queues that track individual drops."""
+
+
+class ECNQueue(DropTailQueue):
+    """Drop-tail queue that marks ECN-capable packets above a sharp threshold.
+
+    This is the switch configuration DCTCP assumes: instantaneous queue
+    occupancy above ``K`` causes the CE codepoint to be set.  Packets from
+    non-ECN flows are unaffected.
+    """
+
+    def __init__(
+        self,
+        eventlist: EventList,
+        service_rate_bps: int,
+        max_queue_bytes: int,
+        marking_threshold_bytes: int,
+        name: str = "ecn-queue",
+    ) -> None:
+        super().__init__(eventlist, service_rate_bps, max_queue_bytes, name)
+        if marking_threshold_bytes <= 0:
+            raise ValueError(
+                f"marking threshold must be positive, got {marking_threshold_bytes}"
+            )
+        self.marking_threshold_bytes = marking_threshold_bytes
+
+    def receive_packet(self, packet: Packet) -> None:
+        will_exceed = self.queue_bytes + packet.size > self.marking_threshold_bytes
+        if will_exceed and packet.ecn_capable:
+            packet.mark_ecn()
+            self.stats.packets_marked += 1
+        super().receive_packet(packet)
+
+
+class LosslessQueue(BaseQueue):
+    """A PFC (priority flow control) queue: never drops, pauses upstream instead.
+
+    When the backlog crosses the pause threshold, every registered upstream
+    queue is paused; when it drains below the resume threshold they are
+    resumed.  Pausing an upstream port affects *all* traffic through that
+    port, which is exactly the head-of-line blocking / collateral damage the
+    paper attributes to lossless Ethernet.
+
+    The queue also supports ECN marking so that DCQCN (ECN-based rate control
+    running over a lossless fabric) can be modelled on top of it.
+    """
+
+    def __init__(
+        self,
+        eventlist: EventList,
+        service_rate_bps: int,
+        max_queue_bytes: int,
+        name: str = "pfc-queue",
+        marking_threshold_bytes: Optional[int] = None,
+        pause_threshold_bytes: Optional[int] = None,
+        resume_threshold_bytes: Optional[int] = None,
+    ) -> None:
+        super().__init__(eventlist, service_rate_bps, max_queue_bytes, name)
+        self.marking_threshold_bytes = marking_threshold_bytes
+        self.pause_threshold_bytes = (
+            pause_threshold_bytes
+            if pause_threshold_bytes is not None
+            else int(max_queue_bytes * PAUSE_THRESHOLD_FRACTION)
+        )
+        self.resume_threshold_bytes = (
+            resume_threshold_bytes
+            if resume_threshold_bytes is not None
+            else int(max_queue_bytes * RESUME_THRESHOLD_FRACTION)
+        )
+        if self.resume_threshold_bytes >= self.pause_threshold_bytes:
+            raise ValueError("resume threshold must be below the pause threshold")
+        self._upstream: List[BaseQueue] = []
+        self._upstream_paused = False
+        self.overflow_events = 0
+
+    def register_upstream(self, *queues: BaseQueue) -> None:
+        """Declare the queues whose output feeds this port (PFC peers)."""
+        self._upstream.extend(queues)
+
+    def upstream_queues(self) -> Iterable[BaseQueue]:
+        """The queues this port will pause when it congests."""
+        return tuple(self._upstream)
+
+    def receive_packet(self, packet: Packet) -> None:
+        if (
+            self.marking_threshold_bytes is not None
+            and packet.ecn_capable
+            and self.queue_bytes + packet.size > self.marking_threshold_bytes
+        ):
+            packet.mark_ecn()
+            self.stats.packets_marked += 1
+        if self.queue_bytes + packet.size > self.max_queue_bytes:
+            # PFC headroom should prevent this; record it rather than drop so
+            # experiments can detect a mis-tuned configuration.
+            self.overflow_events += 1
+        self._enqueue(packet)
+        self._update_pause_state()
+
+    def _packet_departed(self, packet: Packet) -> None:
+        self._update_pause_state()
+
+    def _update_pause_state(self) -> None:
+        if not self._upstream_paused and self.queue_bytes >= self.pause_threshold_bytes:
+            self._upstream_paused = True
+            for queue in self._upstream:
+                queue.pause()
+        elif self._upstream_paused and self.queue_bytes <= self.resume_threshold_bytes:
+            self._upstream_paused = False
+            for queue in self._upstream:
+                queue.resume()

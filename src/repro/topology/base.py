@@ -1,0 +1,194 @@
+"""Common machinery shared by every topology.
+
+A topology is a directed graph of named nodes (``host3``, ``tor1``,
+``agg0``, ``core2``).  Each directed edge is a *link*: an output-port queue
+(which serializes at the link rate and implements the experiment's queueing
+discipline) followed by a propagation :class:`~repro.sim.pipe.Pipe`.
+
+Topologies answer :meth:`Topology.get_paths` with one
+:class:`~repro.sim.packet.Route` per physical path from a source host to a
+destination host.  Routes contain only fabric elements; the connection
+helpers in :mod:`repro.harness` append the destination protocol endpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.sim.eventlist import EventList
+from repro.sim.packet import Route
+from repro.sim.pipe import Pipe
+from repro.sim.queues import BaseQueue, DropTailQueue, LosslessQueue
+from repro.sim.units import DEFAULT_LINK_RATE_BPS, JUMBO_MTU_BYTES, microseconds
+
+#: signature of the callables used to create per-port queues
+QueueFactory = Callable[[EventList, int, str], BaseQueue]
+
+
+def default_queue_factory(
+    eventlist: EventList, rate_bps: int, name: str
+) -> DropTailQueue:
+    """A 100-MTU drop-tail queue; the fallback when no factory is supplied."""
+    return DropTailQueue(eventlist, rate_bps, 100 * JUMBO_MTU_BYTES, name=name)
+
+
+def host_queue_factory(eventlist: EventList, rate_bps: int, name: str) -> DropTailQueue:
+    """The default host NIC queue: deep enough to hold any initial window."""
+    return DropTailQueue(eventlist, rate_bps, 512 * JUMBO_MTU_BYTES, name=name)
+
+
+@dataclass
+class LinkRecord:
+    """One directed link: who it connects and the elements that model it."""
+
+    src_node: str
+    dst_node: str
+    queue: BaseQueue
+    pipe: Pipe
+
+    def elements(self) -> Tuple[BaseQueue, Pipe]:
+        """The route elements a packet traverses to cross this link."""
+        return (self.queue, self.pipe)
+
+
+class Topology:
+    """Base class: a named-node graph of links plus path enumeration."""
+
+    def __init__(
+        self,
+        eventlist: EventList,
+        link_rate_bps: int = DEFAULT_LINK_RATE_BPS,
+        link_delay_ps: int = microseconds(1),
+        queue_factory: Optional[QueueFactory] = None,
+        host_nic_factory: Optional[QueueFactory] = None,
+    ) -> None:
+        self.eventlist = eventlist
+        self.link_rate_bps = link_rate_bps
+        self.link_delay_ps = link_delay_ps
+        self.queue_factory: QueueFactory = queue_factory or default_queue_factory
+        self.host_nic_factory: QueueFactory = host_nic_factory or host_queue_factory
+        self.links: Dict[Tuple[str, str], LinkRecord] = {}
+        self.host_count = 0
+
+    # --- construction helpers ----------------------------------------------------
+
+    def add_link(
+        self,
+        src_node: str,
+        dst_node: str,
+        rate_bps: Optional[int] = None,
+        delay_ps: Optional[int] = None,
+        is_host_uplink: bool = False,
+    ) -> LinkRecord:
+        """Create the queue+pipe pair for the directed link *src*→*dst*."""
+        if (src_node, dst_node) in self.links:
+            raise ValueError(f"link {src_node}->{dst_node} already exists")
+        rate = rate_bps if rate_bps is not None else self.link_rate_bps
+        delay = delay_ps if delay_ps is not None else self.link_delay_ps
+        factory = self.host_nic_factory if is_host_uplink else self.queue_factory
+        queue = factory(self.eventlist, rate, f"{src_node}->{dst_node}")
+        pipe = Pipe(self.eventlist, delay, name=f"pipe:{src_node}->{dst_node}")
+        record = LinkRecord(src_node, dst_node, queue, pipe)
+        self.links[(src_node, dst_node)] = record
+        return record
+
+    def link(self, src_node: str, dst_node: str) -> LinkRecord:
+        """Look up the directed link *src*→*dst*."""
+        return self.links[(src_node, dst_node)]
+
+    def queue(self, src_node: str, dst_node: str) -> BaseQueue:
+        """The output queue of the directed link *src*→*dst*."""
+        return self.links[(src_node, dst_node)].queue
+
+    def set_link_rate(self, src_node: str, dst_node: str, rate_bps: int) -> None:
+        """Change a link's rate in place (used for failure/degradation runs)."""
+        if rate_bps <= 0:
+            raise ValueError(f"link rate must be positive, got {rate_bps}")
+        self.links[(src_node, dst_node)].queue.service_rate_bps = rate_bps
+
+    def route_from_nodes(self, nodes: Sequence[str], path_id: int = 0) -> Route:
+        """Build a route from a node path ``[src_host, ..., dst_host]``."""
+        elements: List[object] = []
+        for src_node, dst_node in zip(nodes, nodes[1:]):
+            elements.extend(self.links[(src_node, dst_node)].elements())
+        return Route(elements, path_id=path_id)
+
+    # --- queries -----------------------------------------------------------------
+
+    def host_name(self, host: int) -> str:
+        """Canonical node name of host number *host*."""
+        return f"host{host}"
+
+    def hosts(self) -> List[int]:
+        """All host identifiers in the topology."""
+        return list(range(self.host_count))
+
+    def get_paths(self, src_host: int, dst_host: int) -> List[Route]:
+        """Every path from *src_host* to *dst_host* (overridden by subclasses)."""
+        raise NotImplementedError
+
+    def path_count(self, src_host: int, dst_host: int) -> int:
+        """Number of distinct paths between two hosts."""
+        return len(self.get_paths(src_host, dst_host))
+
+    def all_queues(self) -> Iterable[BaseQueue]:
+        """Every queue in the fabric (for statistics sweeps)."""
+        return (record.queue for record in self.links.values())
+
+    def fabric_queues(self) -> Iterable[BaseQueue]:
+        """Every queue except host NIC queues (i.e. switch output ports)."""
+        return (
+            record.queue
+            for record in self.links.values()
+            if not record.src_node.startswith("host")
+        )
+
+    def host_nic_queue(self, host: int) -> BaseQueue:
+        """The NIC (uplink) queue of *host* — the first element of its routes."""
+        host_node = self.host_name(host)
+        for (src, _dst), record in self.links.items():
+            if src == host_node:
+                return record.queue
+        raise KeyError(f"host {host} has no uplink in this topology")
+
+    # --- PFC wiring ----------------------------------------------------------------
+
+    def wire_pfc(self) -> int:
+        """Register pause relationships between adjacent lossless queues.
+
+        For every :class:`~repro.sim.queues.LosslessQueue` on a link A→B, the
+        queues that feed node A (all links X→A) are registered as upstream —
+        they are the ports that get paused when A→B congests.  Returns the
+        number of pause relationships created; topologies whose queues are
+        not lossless are unaffected.
+        """
+        inbound: Dict[str, List[BaseQueue]] = {}
+        for (src, dst), record in self.links.items():
+            inbound.setdefault(dst, []).append(record.queue)
+        wired = 0
+        for (src, _dst), record in self.links.items():
+            queue = record.queue
+            if isinstance(queue, LosslessQueue):
+                feeders = inbound.get(src, [])
+                if feeders:
+                    queue.register_upstream(*feeders)
+                    wired += len(feeders)
+        return wired
+
+    # --- diagnostics ------------------------------------------------------------------
+
+    def total_trimmed(self) -> int:
+        """Total packets trimmed anywhere in the fabric."""
+        return sum(q.stats.packets_trimmed for q in self.all_queues())
+
+    def total_dropped(self) -> int:
+        """Total packets dropped anywhere in the fabric."""
+        return sum(q.stats.packets_dropped for q in self.all_queues())
+
+    def describe(self) -> str:
+        """One-line summary used by examples and logs."""
+        return (
+            f"{self.__class__.__name__}: {self.host_count} hosts, "
+            f"{len(self.links)} directed links @ {self.link_rate_bps / 1e9:.0f} Gb/s"
+        )

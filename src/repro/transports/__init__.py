@@ -1,0 +1,45 @@
+"""Baseline transport protocols the paper compares NDP against.
+
+* :mod:`repro.transports.tcp` — TCP NewReno with per-flow ECMP, the base
+  class for the other window-based protocols, plus TCP Fast Open support
+  (used in the Figure 8 RPC latency comparison).
+* :mod:`repro.transports.dctcp` — DCTCP: ECN-fraction-proportional window
+  reduction over ECN-marking switches.
+* :mod:`repro.transports.mptcp` — Multipath TCP with LIA coupled congestion
+  control, one subflow per path.
+* :mod:`repro.transports.dcqcn` — DCQCN: rate-based congestion control with
+  CNPs, running over a lossless (PFC) fabric.
+* :mod:`repro.transports.phost` — pHost: receiver-driven token protocol
+  *without* packet trimming, over ordinary drop-tail switches.
+* :mod:`repro.transports.constant_rate` — unresponsive constant-rate senders
+  used for the Figure 2 switch-overload study.
+
+The Cut Payload (CP) *switch* lives in :mod:`repro.core.switch` next to the
+NDP queue it is contrasted with.
+"""
+
+from repro.transports.tcp import TcpConfig, TcpSink, TcpSrc
+from repro.transports.dctcp import DctcpConfig, DctcpSink, DctcpSrc
+from repro.transports.mptcp import MptcpConfig, MptcpConnection
+from repro.transports.dcqcn import DcqcnConfig, DcqcnSink, DcqcnSrc
+from repro.transports.phost import PHostConfig, PHostSink, PHostSrc
+from repro.transports.constant_rate import ConstantRateSink, ConstantRateSource
+
+__all__ = [
+    "TcpConfig",
+    "TcpSrc",
+    "TcpSink",
+    "DctcpConfig",
+    "DctcpSrc",
+    "DctcpSink",
+    "MptcpConfig",
+    "MptcpConnection",
+    "DcqcnConfig",
+    "DcqcnSrc",
+    "DcqcnSink",
+    "PHostConfig",
+    "PHostSrc",
+    "PHostSink",
+    "ConstantRateSource",
+    "ConstantRateSink",
+]

@@ -1,0 +1,140 @@
+"""Unresponsive constant-rate senders (the Figure 2 workload).
+
+Figure 2 of the paper studies the *switch* service model in isolation: many
+unresponsive flows converge on one 10 Gb/s output port and the metric is the
+fraction of the ideal fair-share goodput each flow's receiver actually gets.
+The senders deliberately perform no congestion control — that is the point —
+so they are modelled here as simple paced packet generators.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.sim import units
+from repro.sim.eventlist import EventList
+from repro.sim.logger import FlowRecord
+from repro.sim.network import NetworkEndpoint
+from repro.sim.packet import Packet, PacketPriority, Route
+
+
+class ConstantRatePacket(Packet):
+    """A data packet from an unresponsive source."""
+
+    __slots__ = ("payload_bytes",)
+
+    def __init__(self, flow_id, src, dst, seqno, payload_bytes, header_bytes):
+        super().__init__(
+            flow_id=flow_id,
+            src=src,
+            dst=dst,
+            size=payload_bytes + header_bytes,
+            seqno=seqno,
+            priority=PacketPriority.LOW,
+        )
+        self.payload_bytes = payload_bytes
+
+
+class ConstantRateSource(NetworkEndpoint):
+    """Sends fixed-size packets at a fixed rate forever (or until stopped)."""
+
+    def __init__(
+        self,
+        eventlist: EventList,
+        flow_id: int,
+        node_id: int,
+        dst_node_id: int,
+        route: Route,
+        rate_bps: int,
+        packet_bytes: int = 9000,
+        header_bytes: int = 64,
+        jitter_fraction: float = 0.0,
+        rng: Optional[random.Random] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(eventlist, node_id, name or f"cbr-src-{flow_id}")
+        if rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        if packet_bytes <= header_bytes:
+            raise ValueError("packet must be larger than its header")
+        if not 0.0 <= jitter_fraction < 1.0:
+            raise ValueError("jitter_fraction must be in [0, 1)")
+        self.flow_id = flow_id
+        self.dst_node_id = dst_node_id
+        self.route = route
+        self.rate_bps = rate_bps
+        self.packet_bytes = packet_bytes
+        self.header_bytes = header_bytes
+        self.interval_ps = units.serialization_time_ps(packet_bytes, rate_bps)
+        #: per-packet inter-departure jitter as a fraction of the interval.
+        #: Real traffic sources are never picosecond-periodic; a little jitter
+        #: prevents the artificial lockstep a deterministic simulator would
+        #: otherwise impose on perfectly synchronized unresponsive senders.
+        self.jitter_fraction = jitter_fraction
+        self.rng = rng if rng is not None else random.Random(flow_id)
+        self._seqno = 0
+        self._running = False
+        self.packets_sent = 0
+
+    def start(self, at_time_ps: Optional[int] = None) -> None:
+        """Begin transmitting at *at_time_ps* (now by default)."""
+        when = self.now() if at_time_ps is None else at_time_ps
+        self._running = True
+        self.eventlist.schedule(when, self._send_next)
+
+    def stop(self) -> None:
+        """Stop generating packets after the next tick."""
+        self._running = False
+
+    def _send_next(self) -> None:
+        if not self._running:
+            return
+        packet = ConstantRatePacket(
+            self.flow_id,
+            self.node_id,
+            self.dst_node_id,
+            self._seqno,
+            self.packet_bytes - self.header_bytes,
+            self.header_bytes,
+        )
+        self._seqno += 1
+        self.packets_sent += 1
+        self.inject(packet, self.route)
+        interval = self.interval_ps
+        if self.jitter_fraction:
+            spread = self.jitter_fraction * interval
+            interval = max(1, int(interval + self.rng.uniform(-spread, spread)))
+        self.eventlist.schedule_in(interval, self._send_next)
+
+    def receive_packet(self, packet: Packet) -> None:  # pragma: no cover - sources receive nothing
+        raise TypeError("ConstantRateSource does not expect inbound packets")
+
+
+class ConstantRateSink(NetworkEndpoint):
+    """Counts goodput: payload bytes of *untrimmed* packets that arrive."""
+
+    def __init__(self, eventlist: EventList, flow_id: int, node_id: int,
+                 name: Optional[str] = None) -> None:
+        super().__init__(eventlist, node_id, name or f"cbr-sink-{flow_id}")
+        self.flow_id = flow_id
+        self.record = FlowRecord(flow_id=flow_id, src=-1, dst=node_id, flow_size_bytes=0)
+        self.headers_received = 0
+
+    def receive_packet(self, packet: Packet) -> None:
+        if self.record.start_time_ps is None:
+            self.record.start_time_ps = self.now()
+            self.record.src = packet.src
+        if packet.is_header_only:
+            self.headers_received += 1
+            self.record.headers_received += 1
+            return
+        payload = getattr(packet, "payload_bytes", packet.size)
+        self.record.bytes_delivered += payload
+        self.record.packets_delivered += 1
+
+    def goodput_bps(self, duration_ps: int) -> float:
+        """Delivered payload rate over *duration_ps*."""
+        if duration_ps <= 0:
+            raise ValueError("duration must be positive")
+        return self.record.bytes_delivered * 8 * units.SECOND / duration_ps

@@ -1,0 +1,433 @@
+"""pHost: a receiver-driven transport *without* packet trimming.
+
+pHost (Gao et al., CoNEXT 2015) is the "who needs packet trimming?" baseline
+of §6.2: like NDP it sprays packets across paths and lets the receiver clock
+transmissions with paced tokens, but it runs over plain drop-tail switches.
+With the paper's tiny 8-packet buffers, the first-RTT burst of an incast is
+mostly *dropped* rather than trimmed, the receiver has no idea which packets
+were lost, and recovery falls back on timeouts — which is why pHost's large
+incasts take seconds where NDP takes milliseconds, and why its permutation
+utilization saturates around 70%.
+
+Protocol sketch implemented here:
+
+* the sender bursts its first window at line rate (free tokens), then sends
+  one packet per received token — unsent data first, then the oldest
+  unacknowledged packet;
+* the receiver ACKs every arrival and issues tokens from a per-host paced
+  token queue, keeping a bounded number of tokens outstanding per flow;
+* if a flow has missing packets and nothing has arrived for
+  ``retransmission_timeout``, the receiver assumes the corresponding packets
+  (or their tokens) were dropped and issues fresh tokens.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.core.path_manager import PathManager
+from repro.sim import units
+from repro.sim.eventlist import Event, EventList
+from repro.sim.logger import FlowRecord
+from repro.sim.network import NetworkEndpoint
+from repro.sim.packet import Packet, PacketPriority, Route
+
+
+@dataclass
+class PHostConfig:
+    """pHost parameters."""
+
+    mss_bytes: int = 8936
+    header_bytes: int = 64
+    #: free tokens: packets the sender may burst in the first RTT
+    initial_window_packets: int = 30
+    #: receiver-side timeout after which missing packets get fresh tokens.
+    #: pHost cannot use NDP-style aggressive timers: with drop-tail switches a
+    #: short timeout floods the network with duplicates, so the default is a
+    #: conservative couple of milliseconds.
+    retransmission_timeout_ps: int = units.milliseconds(2)
+    #: sender-side timeout for retrying when the whole first burst (the
+    #: implicit RTS) was lost and the receiver does not even know the flow
+    #: exists; doubles on every retry.
+    sender_timeout_ps: int = units.milliseconds(1)
+    #: cap on tokens outstanding (unanswered) per flow
+    max_outstanding_tokens: int = 8
+
+    def __post_init__(self) -> None:
+        if self.mss_bytes <= 0:
+            raise ValueError("mss_bytes must be positive")
+        if self.initial_window_packets < 1:
+            raise ValueError("initial window must be at least one packet")
+
+    @property
+    def packet_bytes(self) -> int:
+        """On-the-wire size of a full data packet."""
+        return self.mss_bytes + self.header_bytes
+
+
+class PHostDataPacket(Packet):
+    """A pHost data packet."""
+
+    __slots__ = ("payload_bytes",)
+
+    def __init__(self, flow_id, src, dst, seqno, payload_bytes, header_bytes):
+        super().__init__(
+            flow_id=flow_id,
+            src=src,
+            dst=dst,
+            size=payload_bytes + header_bytes,
+            seqno=seqno,
+            priority=PacketPriority.LOW,
+        )
+        self.payload_bytes = payload_bytes
+
+
+class PHostAck(Packet):
+    """Acknowledges one data packet."""
+
+    __slots__ = ()
+
+    def __init__(self, flow_id, src, dst, seqno, header_bytes=64):
+        super().__init__(flow_id=flow_id, src=src, dst=dst, size=header_bytes, seqno=seqno)
+
+    def is_control(self) -> bool:
+        return True
+
+
+class PHostToken(Packet):
+    """A token allowing the sender to transmit one more packet."""
+
+    __slots__ = ()
+
+    def __init__(self, flow_id, src, dst, seqno, header_bytes=64):
+        super().__init__(flow_id=flow_id, src=src, dst=dst, size=header_bytes, seqno=seqno)
+
+    def is_control(self) -> bool:
+        return True
+
+
+class PHostTokenPacer:
+    """Per-receiving-host token pacer (analogous to NDP's pull pacer)."""
+
+    def __init__(self, eventlist: EventList, link_rate_bps: int, packet_bytes: int) -> None:
+        self.eventlist = eventlist
+        self.token_interval_ps = units.serialization_time_ps(packet_bytes, link_rate_bps)
+        self._pending: Dict[int, int] = {}
+        self._sinks: Dict[int, "PHostSink"] = {}
+        self._order: list[int] = []
+        self._next_allowed = 0
+        self._scheduled: Optional[Event] = None
+        self.tokens_sent = 0
+
+    def request_tokens(self, sink: "PHostSink", count: int) -> None:
+        """Queue *count* token grants for *sink*'s flow."""
+        if count <= 0:
+            return
+        flow_id = sink.flow_id
+        self._sinks[flow_id] = sink
+        if flow_id not in self._order:
+            self._order.append(flow_id)
+        self._pending[flow_id] = self._pending.get(flow_id, 0) + count
+        self._schedule()
+
+    def purge(self, flow_id: int) -> None:
+        """Drop queued tokens for a finished flow."""
+        self._pending.pop(flow_id, None)
+
+    def _schedule(self) -> None:
+        if self._scheduled is not None or not any(self._pending.values()):
+            return
+        when = max(self.eventlist.now(), self._next_allowed)
+        self._scheduled = self.eventlist.schedule(when, self._send_one)
+
+    def _send_one(self) -> None:
+        self._scheduled = None
+        flow_id = None
+        while self._order:
+            candidate = self._order.pop(0)
+            if self._pending.get(candidate, 0) > 0:
+                flow_id = candidate
+                self._order.append(candidate)
+                break
+        if flow_id is None:
+            return
+        self._pending[flow_id] -= 1
+        self._next_allowed = self.eventlist.now() + self.token_interval_ps
+        self.tokens_sent += 1
+        self._sinks[flow_id].emit_token()
+        self._schedule()
+
+
+class PHostSink(NetworkEndpoint):
+    """pHost receiver: ACKs arrivals, paces tokens, times out losses."""
+
+    def __init__(
+        self,
+        eventlist: EventList,
+        flow_id: int,
+        node_id: int,
+        pacer: PHostTokenPacer,
+        reverse_routes: Sequence[Route],
+        config: Optional[PHostConfig] = None,
+        rng: Optional[random.Random] = None,
+        on_complete: Optional[Callable[["PHostSink"], None]] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(eventlist, node_id, name or f"phost-sink-{flow_id}")
+        self.flow_id = flow_id
+        self.config = config if config is not None else PHostConfig()
+        self.pacer = pacer
+        self.on_complete = on_complete
+        self.rng = rng if rng is not None else random.Random(flow_id)
+        self.reverse_paths = PathManager(reverse_routes, rng=self.rng, penalize=False)
+        self.record = FlowRecord(flow_id=flow_id, src=-1, dst=node_id, flow_size_bytes=0)
+        self.src_node_id = -1
+        self._expected_packets: Optional[int] = None
+        self._received: set[int] = set()
+        self._tokens_outstanding = 0
+        self._token_counter = 0
+        self._timeout_event: Optional[Event] = None
+        self.tokens_emitted = 0
+        self.timeout_rounds = 0
+
+    def expect(self, src_node_id: int, flow_size_bytes: int, total_packets: int) -> None:
+        """Wire the expected transfer size (set by the connection helper)."""
+        self.src_node_id = src_node_id
+        self.record.src = src_node_id
+        self.record.flow_size_bytes = flow_size_bytes
+        self._expected_packets = total_packets
+
+    @property
+    def complete(self) -> bool:
+        """True once the whole transfer arrived."""
+        return (
+            self._expected_packets is not None
+            and len(self._received) >= self._expected_packets
+        )
+
+    def remaining_packets(self) -> int:
+        """Packets still missing."""
+        if self._expected_packets is None:
+            return 0
+        return self._expected_packets - len(self._received)
+
+    def receive_packet(self, packet: Packet) -> None:
+        if not isinstance(packet, PHostDataPacket):
+            raise TypeError(f"PHostSink got unexpected packet {packet!r}")
+        if self.record.start_time_ps is None:
+            self.record.start_time_ps = self.now()
+        first_arrival = not self._received and self.record.packets_delivered == 0
+        if packet.seqno not in self._received:
+            self._received.add(packet.seqno)
+            self.record.bytes_delivered += packet.payload_bytes
+            self.record.packets_delivered += 1
+        if self._tokens_outstanding > 0:
+            self._tokens_outstanding -= 1
+        if first_arrival:
+            # The receiver only learns of the flow's existence from its first
+            # arriving packet; only then can it start timing out losses.
+            self._arm_timeout()
+        self.inject(
+            PHostAck(self.flow_id, self.node_id, packet.src, packet.seqno,
+                     header_bytes=self.config.header_bytes),
+            self.reverse_paths.next_route(),
+        )
+        if self.complete:
+            self._finish()
+            return
+        self._request_more_tokens()
+        self._arm_timeout()
+
+    def _request_more_tokens(self) -> None:
+        want = self.remaining_packets() - self._tokens_outstanding
+        allowed = self.config.max_outstanding_tokens - self._tokens_outstanding
+        grant = min(want, allowed)
+        if grant > 0:
+            self._tokens_outstanding += grant
+            self.pacer.request_tokens(self, grant)
+
+    def emit_token(self) -> None:
+        """Called by the pacer: actually send one token to the sender."""
+        if self.complete:
+            return
+        self._token_counter += 1
+        self.tokens_emitted += 1
+        self.inject(
+            PHostToken(self.flow_id, self.node_id, self.src_node_id, self._token_counter,
+                       header_bytes=self.config.header_bytes),
+            self.reverse_paths.next_route(),
+        )
+
+    def _arm_timeout(self) -> None:
+        if self._timeout_event is not None:
+            self._timeout_event.cancel()
+        self._timeout_event = self.eventlist.schedule_in(
+            self.config.retransmission_timeout_ps, self._handle_timeout
+        )
+
+    def _handle_timeout(self) -> None:
+        self._timeout_event = None
+        if self.complete:
+            return
+        # nothing arrived for a while: assume outstanding tokens (or the data
+        # they elicited) were lost and issue a fresh batch
+        self.timeout_rounds += 1
+        self.record.rtx_from_timeout += 1
+        self._tokens_outstanding = 0
+        self._request_more_tokens()
+        self._arm_timeout()
+
+    def _finish(self) -> None:
+        if self.record.finish_time_ps is None:
+            self.record.finish_time_ps = self.now()
+            if self._timeout_event is not None:
+                self._timeout_event.cancel()
+            self.pacer.purge(self.flow_id)
+            if self.on_complete is not None:
+                self.on_complete(self)
+
+
+class PHostSrc(NetworkEndpoint):
+    """pHost sender: free first-RTT burst, then strictly token-clocked."""
+
+    def __init__(
+        self,
+        eventlist: EventList,
+        flow_id: int,
+        node_id: int,
+        dst_node_id: int,
+        flow_size_bytes: int,
+        routes: Sequence[Route],
+        config: Optional[PHostConfig] = None,
+        rng: Optional[random.Random] = None,
+        on_complete: Optional[Callable[["PHostSrc"], None]] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(eventlist, node_id, name or f"phost-src-{flow_id}")
+        if flow_size_bytes <= 0:
+            raise ValueError("flow size must be positive")
+        self.flow_id = flow_id
+        self.dst_node_id = dst_node_id
+        self.flow_size_bytes = flow_size_bytes
+        self.config = config if config is not None else PHostConfig()
+        self.rng = rng if rng is not None else random.Random(flow_id)
+        self.on_complete = on_complete
+        # pHost sprays per packet at random (switch-style packet spraying)
+        self.paths = PathManager(routes, rng=self.rng, penalize=False, mode="random")
+        mss = self.config.mss_bytes
+        self.total_packets = (flow_size_bytes + mss - 1) // mss
+        self.record = FlowRecord(
+            flow_id=flow_id, src=node_id, dst=dst_node_id, flow_size_bytes=flow_size_bytes
+        )
+        self.sink: Optional[PHostSink] = None
+        self._next_new = 0
+        self._acked: set[int] = set()
+        self._rtx_pointer = 0
+        self._started = False
+        self._heard_from_receiver = False
+        self._sender_timer: Optional[Event] = None
+        self._sender_timeout_ps = self.config.sender_timeout_ps
+        self.packets_sent = 0
+        self.tokens_received = 0
+        self.rts_retries = 0
+
+    def connect(self, sink: PHostSink) -> None:
+        """Associate the sender with its sink."""
+        self.sink = sink
+        sink.expect(self.node_id, self.flow_size_bytes, self.total_packets)
+
+    def set_destination_routes(self, routes: Sequence[Route]) -> None:
+        """Install forward routes ending at the sink."""
+        self.paths.set_routes(routes)
+
+    def start(self, at_time_ps: Optional[int] = None) -> None:
+        """Schedule the free first-RTT burst."""
+        when = self.now() if at_time_ps is None else at_time_ps
+        self.eventlist.schedule(when, self._send_burst)
+
+    @property
+    def complete(self) -> bool:
+        """True when every packet has been acknowledged."""
+        return len(self._acked) >= self.total_packets
+
+    def _send_burst(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.record.start_time_ps = self.now()
+        for _ in range(min(self.config.initial_window_packets, self.total_packets)):
+            self._send_packet(self._next_new)
+            self._next_new += 1
+        self._arm_sender_timer()
+
+    def _arm_sender_timer(self) -> None:
+        if self._sender_timer is not None:
+            self._sender_timer.cancel()
+        self._sender_timer = self.eventlist.schedule_in(
+            self._sender_timeout_ps, self._sender_timeout
+        )
+
+    def _sender_timeout(self) -> None:
+        """The whole burst (and thus the implicit RTS) may have been lost."""
+        self._sender_timer = None
+        if self._heard_from_receiver or self.complete:
+            return
+        self.rts_retries += 1
+        self.record.rtx_from_timeout += 1
+        self._send_packet(0)
+        self._sender_timeout_ps = min(self._sender_timeout_ps * 2, units.milliseconds(64))
+        self._arm_sender_timer()
+
+    def _send_packet(self, seqno: int) -> None:
+        payload = self._payload_for(seqno)
+        packet = PHostDataPacket(
+            self.flow_id, self.node_id, self.dst_node_id, seqno, payload,
+            self.config.header_bytes,
+        )
+        self.packets_sent += 1
+        self.inject(packet, self.paths.next_route())
+
+    def _payload_for(self, seqno: int) -> int:
+        mss = self.config.mss_bytes
+        if seqno < self.total_packets - 1:
+            return mss
+        remainder = self.flow_size_bytes - (self.total_packets - 1) * mss
+        return remainder if remainder > 0 else mss
+
+    def receive_packet(self, packet: Packet) -> None:
+        if not self._heard_from_receiver and isinstance(packet, (PHostAck, PHostToken)):
+            self._heard_from_receiver = True
+            if self._sender_timer is not None:
+                self._sender_timer.cancel()
+                self._sender_timer = None
+        if isinstance(packet, PHostAck):
+            if packet.seqno not in self._acked:
+                self._acked.add(packet.seqno)
+                self.record.packets_delivered += 1
+                self.record.bytes_delivered += self._payload_for(packet.seqno)
+            if self.complete and self.record.finish_time_ps is None:
+                self.record.finish_time_ps = self.now()
+                if self.on_complete is not None:
+                    self.on_complete(self)
+        elif isinstance(packet, PHostToken):
+            self.tokens_received += 1
+            self._send_for_token()
+        else:
+            raise TypeError(f"PHostSrc got unexpected packet {packet!r}")
+
+    def _send_for_token(self) -> None:
+        if self._next_new < self.total_packets:
+            self._send_packet(self._next_new)
+            self._next_new += 1
+            return
+        # no new data: retransmit unacknowledged packets, rotating through
+        # them so successive tokens do not all resend the same packet
+        for _ in range(self.total_packets):
+            seqno = self._rtx_pointer
+            self._rtx_pointer = (self._rtx_pointer + 1) % self.total_packets
+            if seqno not in self._acked:
+                self.record.retransmissions += 1
+                self._send_packet(seqno)
+                return

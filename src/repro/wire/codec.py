@@ -1,0 +1,216 @@
+"""Binary encoding of NDP headers.
+
+Layout (network byte order, 24 bytes):
+
+====== ======= ===========================================================
+offset size    field
+====== ======= ===========================================================
+0      1       magic (0x4E, 'N')
+1      1       version (1)
+2      1       packet type (:class:`NdpPacketType`)
+3      1       flags (bit 0 SYN, bit 1 LAST, bit 2 TRIMMED, bit 3 BOUNCED)
+4      4       flow (connection) identifier
+8      4       packet sequence number
+12     4       pull counter (PULL packets; 0 otherwise)
+16     2       path identifier chosen by the sender
+18     2       payload length in bytes
+20     2       header checksum (Internet checksum, computed with field 0)
+22     2       reserved (0)
+====== ======= ===========================================================
+
+The 64-byte control/trimmed-header size used throughout the paper leaves
+room for Ethernet/IP/UDP encapsulation around this 24-byte NDP header.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+from repro.core.packets import NdpAck, NdpDataPacket, NdpNack, NdpPull
+from repro.sim.packet import Packet
+
+#: struct layout of the NDP header
+_HEADER_STRUCT = struct.Struct("!BBBBIIIHHHH")
+#: encoded header length in bytes
+HEADER_LENGTH = _HEADER_STRUCT.size
+
+_MAGIC = 0x4E
+_VERSION = 1
+
+_FLAG_SYN = 0x01
+_FLAG_LAST = 0x02
+_FLAG_TRIMMED = 0x04
+_FLAG_BOUNCED = 0x08
+
+_MAX_U16 = 0xFFFF
+_MAX_U32 = 0xFFFFFFFF
+
+
+class NdpWireError(ValueError):
+    """Raised when an encoded header is malformed."""
+
+
+class NdpPacketType(enum.IntEnum):
+    """On-the-wire packet types."""
+
+    DATA = 1
+    ACK = 2
+    NACK = 3
+    PULL = 4
+
+
+@dataclass(frozen=True)
+class NdpHeader:
+    """A decoded (or to-be-encoded) NDP header."""
+
+    packet_type: NdpPacketType
+    flow_id: int
+    seqno: int
+    pull_counter: int = 0
+    path_id: int = 0
+    payload_length: int = 0
+    syn: bool = False
+    last: bool = False
+    trimmed: bool = False
+    bounced: bool = False
+
+    def __post_init__(self) -> None:
+        for name, value, limit in (
+            ("flow_id", self.flow_id, _MAX_U32),
+            ("seqno", self.seqno, _MAX_U32),
+            ("pull_counter", self.pull_counter, _MAX_U32),
+            ("path_id", self.path_id, _MAX_U16),
+            ("payload_length", self.payload_length, _MAX_U16),
+        ):
+            if not 0 <= value <= limit:
+                raise NdpWireError(f"{name} {value} out of range (0..{limit})")
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 ones'-complement checksum of *data*."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for index in range(0, len(data), 2):
+        total += (data[index] << 8) | data[index + 1]
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def _flags_byte(header: NdpHeader) -> int:
+    flags = 0
+    if header.syn:
+        flags |= _FLAG_SYN
+    if header.last:
+        flags |= _FLAG_LAST
+    if header.trimmed:
+        flags |= _FLAG_TRIMMED
+    if header.bounced:
+        flags |= _FLAG_BOUNCED
+    return flags
+
+
+def encode_header(header: NdpHeader) -> bytes:
+    """Serialize *header* to its 24-byte wire representation."""
+    without_checksum = _HEADER_STRUCT.pack(
+        _MAGIC,
+        _VERSION,
+        int(header.packet_type),
+        _flags_byte(header),
+        header.flow_id,
+        header.seqno,
+        header.pull_counter,
+        header.path_id,
+        header.payload_length,
+        0,  # checksum placeholder
+        0,  # reserved
+    )
+    checksum = internet_checksum(without_checksum)
+    return without_checksum[:20] + struct.pack("!H", checksum) + without_checksum[22:]
+
+
+def decode_header(data: bytes) -> NdpHeader:
+    """Parse and validate a wire header, raising :class:`NdpWireError` on garbage."""
+    if len(data) < HEADER_LENGTH:
+        raise NdpWireError(
+            f"need at least {HEADER_LENGTH} bytes, got {len(data)}"
+        )
+    (
+        magic,
+        version,
+        packet_type,
+        flags,
+        flow_id,
+        seqno,
+        pull_counter,
+        path_id,
+        payload_length,
+        checksum,
+        _reserved,
+    ) = _HEADER_STRUCT.unpack(data[:HEADER_LENGTH])
+    if magic != _MAGIC:
+        raise NdpWireError(f"bad magic byte 0x{magic:02x}")
+    if version != _VERSION:
+        raise NdpWireError(f"unsupported version {version}")
+    try:
+        ptype = NdpPacketType(packet_type)
+    except ValueError as exc:
+        raise NdpWireError(f"unknown packet type {packet_type}") from exc
+    # verify the checksum by re-computing it over the header with the
+    # checksum field zeroed
+    zeroed = data[:20] + b"\x00\x00" + data[22:HEADER_LENGTH]
+    if internet_checksum(zeroed) != checksum:
+        raise NdpWireError("header checksum mismatch")
+    return NdpHeader(
+        packet_type=ptype,
+        flow_id=flow_id,
+        seqno=seqno,
+        pull_counter=pull_counter,
+        path_id=path_id,
+        payload_length=payload_length,
+        syn=bool(flags & _FLAG_SYN),
+        last=bool(flags & _FLAG_LAST),
+        trimmed=bool(flags & _FLAG_TRIMMED),
+        bounced=bool(flags & _FLAG_BOUNCED),
+    )
+
+
+def header_from_packet(packet: Packet) -> NdpHeader:
+    """Build the wire header describing a simulator packet object."""
+    if isinstance(packet, NdpPull):
+        return NdpHeader(
+            packet_type=NdpPacketType.PULL,
+            flow_id=packet.flow_id,
+            seqno=packet.seqno,
+            pull_counter=packet.pull_counter,
+            path_id=packet.path_id,
+        )
+    if isinstance(packet, NdpAck):
+        return NdpHeader(
+            packet_type=NdpPacketType.ACK,
+            flow_id=packet.flow_id,
+            seqno=packet.seqno,
+            path_id=packet.data_path_id,
+        )
+    if isinstance(packet, NdpNack):
+        return NdpHeader(
+            packet_type=NdpPacketType.NACK,
+            flow_id=packet.flow_id,
+            seqno=packet.seqno,
+            path_id=packet.data_path_id,
+        )
+    if isinstance(packet, NdpDataPacket):
+        return NdpHeader(
+            packet_type=NdpPacketType.DATA,
+            flow_id=packet.flow_id,
+            seqno=packet.seqno,
+            path_id=packet.path_id,
+            payload_length=0 if packet.is_header_only else packet.payload_bytes,
+            syn=packet.syn,
+            last=packet.last,
+            trimmed=packet.is_header_only,
+            bounced=packet.bounced,
+        )
+    raise NdpWireError(f"cannot encode packet type {type(packet).__name__}")

@@ -1,0 +1,36 @@
+"""Workload generation: traffic matrices, flow sizes, arrival processes.
+
+The paper evaluates NDP under a handful of canonical datacenter workloads:
+
+* **permutation** — every host sends to exactly one other host and receives
+  from exactly one (the worst case for core load balancing, Figures 14/17/22);
+* **random** — every host sends to a uniformly random other host (Figure 4);
+* **incast** — N workers answer one frontend simultaneously (Figures 9, 16,
+  19, 20);
+* **Facebook web workload** — heavy-tailed flow sizes with closed-loop
+  arrivals on an oversubscribed fabric (Figure 23), synthesised from the
+  published distribution shape of Roy et al. [34].
+"""
+
+from repro.workloads.traffic_matrices import (
+    incast_pairs,
+    permutation_pairs,
+    random_pairs,
+)
+from repro.workloads.flowsize import (
+    FacebookWebFlowSizes,
+    FixedFlowSizes,
+    FlowSizeDistribution,
+)
+from repro.workloads.generators import ClosedLoopGenerator, PoissonArrivals
+
+__all__ = [
+    "permutation_pairs",
+    "random_pairs",
+    "incast_pairs",
+    "FlowSizeDistribution",
+    "FixedFlowSizes",
+    "FacebookWebFlowSizes",
+    "ClosedLoopGenerator",
+    "PoissonArrivals",
+]

@@ -1,0 +1,111 @@
+"""Flow-size distributions.
+
+Figure 23 uses the Facebook *web* workload of Roy et al. [34]: the least
+favourable traffic for NDP because packets are small (poor trimming
+compression) and there is almost no rack locality.  The exact trace is not
+public, so :class:`FacebookWebFlowSizes` synthesises a distribution with the
+published shape: the bulk of flows are a few hundred bytes to a few KB
+(single RPC responses), a modest fraction are tens of KB, and a thin heavy
+tail reaches into the MB range, giving a mean much larger than the median.
+DESIGN.md records this substitution.
+"""
+
+from __future__ import annotations
+
+import abc
+import bisect
+import random
+from typing import List, Optional, Sequence, Tuple
+
+
+class FlowSizeDistribution(abc.ABC):
+    """Interface: sample one flow size in bytes."""
+
+    @abc.abstractmethod
+    def sample(self, rng: random.Random) -> int:
+        """Draw a flow size (bytes)."""
+
+    def sample_many(self, rng: random.Random, count: int) -> List[int]:
+        """Draw *count* flow sizes."""
+        return [self.sample(rng) for _ in range(count)]
+
+
+class FixedFlowSizes(FlowSizeDistribution):
+    """Every flow has the same size (used by most controlled experiments)."""
+
+    def __init__(self, size_bytes: int) -> None:
+        if size_bytes <= 0:
+            raise ValueError("flow size must be positive")
+        self.size_bytes = size_bytes
+
+    def sample(self, rng: random.Random) -> int:
+        return self.size_bytes
+
+
+class EmpiricalFlowSizes(FlowSizeDistribution):
+    """Piecewise-linear interpolation of an empirical CDF.
+
+    ``points`` is a list of ``(size_bytes, cumulative_probability)`` pairs
+    with increasing sizes and probabilities ending at 1.0.
+    """
+
+    def __init__(self, points: Sequence[Tuple[int, float]]) -> None:
+        if len(points) < 2:
+            raise ValueError("need at least two CDF points")
+        sizes = [s for s, _ in points]
+        probs = [p for _, p in points]
+        if sorted(sizes) != list(sizes) or sorted(probs) != list(probs):
+            raise ValueError("CDF points must be sorted")
+        if abs(probs[-1] - 1.0) > 1e-9:
+            raise ValueError("CDF must end at probability 1.0")
+        self.sizes = list(sizes)
+        self.probs = list(probs)
+
+    def sample(self, rng: random.Random) -> int:
+        u = rng.random()
+        index = bisect.bisect_left(self.probs, u)
+        if index == 0:
+            return max(1, self.sizes[0])
+        if index >= len(self.probs):
+            return self.sizes[-1]
+        p0, p1 = self.probs[index - 1], self.probs[index]
+        s0, s1 = self.sizes[index - 1], self.sizes[index]
+        if p1 == p0:
+            return s1
+        fraction = (u - p0) / (p1 - p0)
+        return max(1, int(s0 + fraction * (s1 - s0)))
+
+    def mean(self) -> float:
+        """Mean of the piecewise-linear distribution (midpoint approximation)."""
+        total = 0.0
+        for (s0, p0), (s1, p1) in zip(zip(self.sizes, self.probs), zip(self.sizes[1:], self.probs[1:])):
+            total += (p1 - p0) * (s0 + s1) / 2
+        return total
+
+
+class FacebookWebFlowSizes(EmpiricalFlowSizes):
+    """A synthetic stand-in for the Facebook web flow-size distribution.
+
+    Shape (per the published figures of [34]): ~50% of flows are under about
+    1 kB, ~80% under 10 kB, ~95% under 100 kB, with a tail reaching a few MB.
+    Median ~600 B, mean a few tens of kB.
+    """
+
+    DEFAULT_POINTS: Sequence[Tuple[int, float]] = (
+        (64, 0.00),
+        (200, 0.15),
+        (400, 0.35),
+        (600, 0.50),
+        (1_000, 0.58),
+        (2_000, 0.66),
+        (5_000, 0.74),
+        (10_000, 0.80),
+        (30_000, 0.88),
+        (100_000, 0.95),
+        (300_000, 0.98),
+        (1_000_000, 0.995),
+        (3_000_000, 1.00),
+    )
+
+    def __init__(self, points: Optional[Sequence[Tuple[int, float]]] = None) -> None:
+        super().__init__(points if points is not None else self.DEFAULT_POINTS)

@@ -1,0 +1,144 @@
+"""Flow arrival processes.
+
+Two arrival models cover the paper's experiments:
+
+* :class:`ClosedLoopGenerator` — each host keeps a fixed number of
+  connections in flight; when one completes, the next starts after a think
+  gap.  Figure 23 uses this with a median 1 ms inter-flow gap and 5 or 10
+  simultaneous connections per host.
+* :class:`PoissonArrivals` — open-loop Poisson flow arrivals, useful for
+  background-load experiments and extensions.
+
+Both are network-agnostic: they call ``network.create_flow`` through the
+uniform interface every ``*Network`` builder exposes.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, List, Optional, Sequence
+
+from repro.sim.eventlist import EventList
+from repro.workloads.flowsize import FlowSizeDistribution
+
+
+class ClosedLoopGenerator:
+    """Keeps ``connections_per_host`` transfers in flight from every host."""
+
+    def __init__(
+        self,
+        eventlist: EventList,
+        network,
+        hosts: Sequence[int],
+        flow_sizes: FlowSizeDistribution,
+        connections_per_host: int = 1,
+        think_time_ps: int = 0,
+        rng: Optional[random.Random] = None,
+        destination_picker: Optional[Callable[[int, random.Random], int]] = None,
+        max_flows: Optional[int] = None,
+    ) -> None:
+        if connections_per_host < 1:
+            raise ValueError("connections_per_host must be at least 1")
+        self.eventlist = eventlist
+        self.network = network
+        self.hosts = list(hosts)
+        if len(self.hosts) < 2:
+            raise ValueError("need at least two hosts")
+        self.flow_sizes = flow_sizes
+        self.connections_per_host = connections_per_host
+        self.think_time_ps = think_time_ps
+        self.rng = rng if rng is not None else random.Random(0)
+        self.destination_picker = destination_picker or self._random_destination
+        self.max_flows = max_flows
+        self.flows: List[object] = []
+        self.flows_started = 0
+        self.flows_completed = 0
+
+    def start(self, at_time_ps: int = 0) -> None:
+        """Launch the initial set of connections."""
+        for host in self.hosts:
+            for _ in range(self.connections_per_host):
+                self.eventlist.schedule(at_time_ps, self._start_flow, host)
+
+    def _random_destination(self, src: int, rng: random.Random) -> int:
+        dst = src
+        while dst == src:
+            dst = rng.choice(self.hosts)
+        return dst
+
+    def _start_flow(self, src: int) -> None:
+        if self.max_flows is not None and self.flows_started >= self.max_flows:
+            return
+        dst = self.destination_picker(src, self.rng)
+        size = self.flow_sizes.sample(self.rng)
+        self.flows_started += 1
+        flow = self.network.create_flow(
+            src, dst, size,
+            start_time_ps=self.eventlist.now(),
+            on_complete=lambda _endpoint, host=src: self._flow_finished(host),
+        )
+        self.flows.append(flow)
+
+    def _flow_finished(self, host: int) -> None:
+        self.flows_completed += 1
+        gap = self.think_time_ps
+        if gap > 0:
+            # exponential think time with the configured mean keeps hosts
+            # desynchronized, approximating the paper's closed-loop arrivals
+            gap = int(self.rng.expovariate(1.0 / gap))
+        self.eventlist.schedule_in(max(gap, 1), self._start_flow, host)
+
+    def completed_records(self) -> List[object]:
+        """Flow records of every completed flow started by this generator."""
+        return [flow.record for flow in self.flows if flow.record.completed]
+
+
+class PoissonArrivals:
+    """Open-loop Poisson flow arrivals at a configurable aggregate rate."""
+
+    def __init__(
+        self,
+        eventlist: EventList,
+        network,
+        hosts: Sequence[int],
+        flow_sizes: FlowSizeDistribution,
+        arrival_rate_per_second: float,
+        rng: Optional[random.Random] = None,
+        max_flows: Optional[int] = None,
+    ) -> None:
+        if arrival_rate_per_second <= 0:
+            raise ValueError("arrival rate must be positive")
+        self.eventlist = eventlist
+        self.network = network
+        self.hosts = list(hosts)
+        if len(self.hosts) < 2:
+            raise ValueError("need at least two hosts")
+        self.flow_sizes = flow_sizes
+        self.rate = arrival_rate_per_second
+        self.rng = rng if rng is not None else random.Random(0)
+        self.max_flows = max_flows
+        self.flows: List[object] = []
+        self.flows_started = 0
+
+    def start(self, at_time_ps: int = 0) -> None:
+        """Schedule the first arrival."""
+        self.eventlist.schedule(at_time_ps + self._next_gap(), self._arrival)
+
+    def _next_gap(self) -> int:
+        seconds = self.rng.expovariate(self.rate)
+        return max(1, int(seconds * 1_000_000_000_000))
+
+    def _arrival(self) -> None:
+        if self.max_flows is not None and self.flows_started >= self.max_flows:
+            return
+        src, dst = self.rng.sample(self.hosts, 2)
+        size = self.flow_sizes.sample(self.rng)
+        self.flows_started += 1
+        flow = self.network.create_flow(src, dst, size, start_time_ps=self.eventlist.now())
+        self.flows.append(flow)
+        self.eventlist.schedule_in(self._next_gap(), self._arrival)
+
+    def completed_records(self) -> List[object]:
+        """Flow records of every completed flow started by this generator."""
+        return [flow.record for flow in self.flows if flow.record.completed]

@@ -1,0 +1,21 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim.eventlist import EventList
+
+
+@pytest.fixture
+def eventlist() -> EventList:
+    """A fresh event list for each test."""
+    return EventList()
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic random source."""
+    return random.Random(12345)

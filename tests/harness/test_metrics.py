@@ -1,0 +1,142 @@
+"""Tests for the metrics helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.harness import metrics
+from repro.sim.logger import FlowRecord
+from repro.sim.units import MICROSECOND, SECOND, gbps
+
+
+class TestPercentiles:
+    def test_median_of_odd_list(self):
+        assert metrics.percentile([1, 5, 3], 0.5) == 3
+
+    def test_interpolation(self):
+        assert metrics.percentile([0, 10], 0.25) == 2.5
+
+    def test_extremes(self):
+        values = [4, 8, 15, 16, 23, 42]
+        assert metrics.percentile(values, 0.0) == 4
+        assert metrics.percentile(values, 1.0) == 42
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            metrics.percentile([], 0.5)
+
+    def test_out_of_range_fraction_raises(self):
+        with pytest.raises(ValueError):
+            metrics.percentile([1], 1.5)
+
+    @given(st.lists(st.floats(min_value=-1e9, max_value=1e9), min_size=1, max_size=100))
+    def test_percentile_bounded_by_min_max(self, values):
+        for fraction in (0.0, 0.1, 0.5, 0.9, 1.0):
+            result = metrics.percentile(values, fraction)
+            assert min(values) <= result <= max(values)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=2, max_size=50))
+    def test_percentile_monotone_in_fraction(self, values):
+        assert metrics.percentile(values, 0.25) <= metrics.percentile(values, 0.75)
+
+
+class TestCdf:
+    def test_cdf_points_are_monotone_and_end_at_one(self):
+        points = metrics.cdf_points([3, 1, 2])
+        values = [v for v, _ in points]
+        fractions = [f for _, f in points]
+        assert values == [1, 2, 3]
+        assert fractions == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_mean_of_empty_is_zero(self):
+        assert metrics.mean([]) == 0.0
+        assert metrics.mean([2, 4]) == 3.0
+
+
+class TestIdealTimes:
+    def test_ideal_transfer_accounts_for_header_overhead(self):
+        # 8936-byte payloads in 9000-byte packets at 10 Gb/s
+        one_packet = metrics.ideal_transfer_time_ps(8936, gbps(10), 9000, 64)
+        assert one_packet == 7_200_000  # 7.2 us
+
+    def test_ideal_incast_scales_with_senders(self):
+        single = metrics.ideal_transfer_time_ps(450_000, gbps(10), 9000, 64)
+        incast = metrics.ideal_incast_completion_ps(7, 450_000, gbps(10), 9000, 64)
+        assert incast == pytest.approx(7 * single, rel=0.01)
+
+    def test_base_rtt_added(self):
+        without = metrics.ideal_transfer_time_ps(9000, gbps(10), 9000, 64)
+        with_rtt = metrics.ideal_transfer_time_ps(9000, gbps(10), 9000, 64, base_rtt_ps=1000)
+        assert with_rtt == without + 1000
+
+
+class TestUtilization:
+    def _record(self, delivered, flow_id=0):
+        record = FlowRecord(flow_id=flow_id, src=0, dst=1, flow_size_bytes=delivered)
+        record.bytes_delivered = delivered
+        return record
+
+    def test_full_utilization(self):
+        # one receiver at 10 Gb/s for 1 ms can absorb 1.25 MB
+        records = [self._record(1_250_000)]
+        util = metrics.utilization_from_records(records, SECOND // 1000, gbps(10), 1)
+        assert util == pytest.approx(1.0)
+
+    def test_half_utilization(self):
+        records = [self._record(625_000)]
+        util = metrics.utilization_from_records(records, SECOND // 1000, gbps(10), 1)
+        assert util == pytest.approx(0.5)
+
+    def test_multiple_receivers(self):
+        records = [self._record(1_250_000, flow_id=i) for i in range(4)]
+        util = metrics.utilization_from_records(records, SECOND // 1000, gbps(10), 4)
+        assert util == pytest.approx(1.0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            metrics.utilization_from_records([], 0, gbps(10), 1)
+        with pytest.raises(ValueError):
+            metrics.utilization_from_records([], 1000, gbps(10), 0)
+
+    def test_fair_share_fraction(self):
+        assert metrics.fair_share_fraction(gbps(5), gbps(10), 2) == pytest.approx(1.0)
+        assert metrics.fair_share_fraction(gbps(1), gbps(10), 2) == pytest.approx(0.2)
+        with pytest.raises(ValueError):
+            metrics.fair_share_fraction(1.0, gbps(10), 0)
+
+    def test_goodput_bps(self):
+        record = self._record(1_250_000)
+        assert metrics.goodput_bps(record, SECOND // 1000) == pytest.approx(gbps(10))
+
+
+class TestFlowRecord:
+    def test_completion_time_and_throughput(self):
+        record = FlowRecord(flow_id=1, src=0, dst=1, flow_size_bytes=1000)
+        record.start_time_ps = 0
+        record.finish_time_ps = 8 * MICROSECOND
+        record.bytes_delivered = 1000
+        assert record.completed
+        assert record.completion_time_ps() == 8 * MICROSECOND
+        assert record.throughput_bps() == pytest.approx(1e9)
+
+    def test_incomplete_record_raises(self):
+        record = FlowRecord(flow_id=1, src=0, dst=1, flow_size_bytes=1000)
+        assert not record.completed
+        with pytest.raises(ValueError):
+            record.completion_time_ps()
+
+    def test_summarize_fcts(self):
+        records = []
+        for i, fct_us in enumerate([10, 20, 30, 40]):
+            r = FlowRecord(flow_id=i, src=0, dst=1, flow_size_bytes=1)
+            r.start_time_ps = 0
+            r.finish_time_ps = fct_us * MICROSECOND
+            records.append(r)
+        summary = metrics.summarize_fcts_us(records)
+        assert summary["count"] == 4
+        assert summary["median_us"] == pytest.approx(25.0)
+        assert summary["max_us"] == pytest.approx(40.0)
+
+    def test_summarize_empty(self):
+        assert metrics.summarize_fcts_us([]) == {"count": 0}

@@ -1,0 +1,189 @@
+"""Tests for pipes and the drop-tail / ECN / PFC queue disciplines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.eventlist import EventList
+from repro.sim.network import CountingSink
+from repro.sim.packet import Packet, Route
+from repro.sim.pipe import Pipe
+from repro.sim.queues import DropTailQueue, ECNQueue, LosslessQueue
+from repro.sim.units import gbps, microseconds, serialization_time_ps
+
+
+def _packet(size=9000, flow=1, ecn=False, seq=0):
+    return Packet(flow_id=flow, src=0, dst=1, size=size, seqno=seq, ecn_capable=ecn)
+
+
+def _send_through(eventlist, elements, packets):
+    """Push packets through a route made of *elements* ending in a sink."""
+    sink = CountingSink()
+    route = Route(list(elements) + [sink])
+    for packet in packets:
+        packet.set_route(route)
+        packet.send_to_next_hop()
+    return sink
+
+
+class TestPipe:
+    def test_delivery_is_delayed_by_propagation(self, eventlist):
+        pipe = Pipe(eventlist, delay_ps=microseconds(1))
+        sink = _send_through(eventlist, [pipe], [_packet()])
+        assert sink.packets_received == 0
+        eventlist.run()
+        assert sink.packets_received == 1
+        assert eventlist.now() == microseconds(1)
+
+    def test_pipe_does_not_serialize(self, eventlist):
+        # two packets entering together leave together: pipes add latency only
+        pipe = Pipe(eventlist, delay_ps=1000)
+        sink = _send_through(eventlist, [pipe], [_packet(), _packet()])
+        eventlist.run()
+        assert sink.packets_received == 2
+        assert eventlist.now() == 1000
+
+    def test_negative_delay_rejected(self, eventlist):
+        with pytest.raises(ValueError):
+            Pipe(eventlist, delay_ps=-1)
+
+
+class TestDropTailQueue:
+    def test_serialization_time_at_line_rate(self, eventlist):
+        queue = DropTailQueue(eventlist, gbps(10), 100 * 9000)
+        sink = _send_through(eventlist, [queue], [_packet(9000)])
+        eventlist.run()
+        assert sink.packets_received == 1
+        assert eventlist.now() == serialization_time_ps(9000, gbps(10))
+
+    def test_back_to_back_packets_are_serialized_sequentially(self, eventlist):
+        queue = DropTailQueue(eventlist, gbps(10), 100 * 9000)
+        sink = _send_through(eventlist, [queue], [_packet(9000) for _ in range(5)])
+        eventlist.run()
+        assert sink.packets_received == 5
+        assert eventlist.now() == 5 * serialization_time_ps(9000, gbps(10))
+
+    def test_overflow_drops_arriving_packet(self, eventlist):
+        queue = DropTailQueue(eventlist, gbps(10), max_queue_bytes=2 * 9000)
+        packets = [_packet(9000, seq=i) for i in range(5)]
+        sink = _send_through(eventlist, [queue], packets)
+        eventlist.run()
+        # one packet enters service immediately, two fit in the buffer
+        assert sink.packets_received == 3
+        assert queue.stats.packets_dropped == 2
+        assert queue.stats.bytes_dropped == 2 * 9000
+
+    def test_forwarded_counters(self, eventlist):
+        queue = DropTailQueue(eventlist, gbps(10), 100 * 9000)
+        _send_through(eventlist, [queue], [_packet(1500), _packet(9000)])
+        eventlist.run()
+        assert queue.stats.packets_forwarded == 2
+        assert queue.stats.bytes_forwarded == 1500 + 9000
+
+    def test_pause_and_resume(self, eventlist):
+        queue = DropTailQueue(eventlist, gbps(10), 100 * 9000)
+        queue.pause()
+        sink = _send_through(eventlist, [queue], [_packet(9000)])
+        eventlist.run()
+        assert sink.packets_received == 0
+        queue.resume()
+        eventlist.run()
+        assert sink.packets_received == 1
+
+    def test_invalid_parameters_rejected(self, eventlist):
+        with pytest.raises(ValueError):
+            DropTailQueue(eventlist, 0, 9000)
+        with pytest.raises(ValueError):
+            DropTailQueue(eventlist, gbps(10), 0)
+
+
+class TestECNQueue:
+    def test_marks_only_above_threshold(self, eventlist):
+        queue = ECNQueue(
+            eventlist, gbps(10), max_queue_bytes=100 * 9000, marking_threshold_bytes=3 * 9000
+        )
+        packets = [_packet(9000, ecn=True, seq=i) for i in range(6)]
+        _send_through(eventlist, [queue], packets)
+        eventlist.run()
+        marked = [p for p in packets if p.ecn_ce]
+        # the first packet goes straight into service, so the backlog seen by
+        # arrivals is 0,1,2,3,4 packets: only the last two arrivals find more
+        # than the 3-packet threshold already queued
+        assert len(marked) == 2
+        assert queue.stats.packets_marked == 2
+
+    def test_non_ecn_packets_never_marked(self, eventlist):
+        queue = ECNQueue(
+            eventlist, gbps(10), max_queue_bytes=100 * 9000, marking_threshold_bytes=9000
+        )
+        packets = [_packet(9000, ecn=False) for _ in range(5)]
+        _send_through(eventlist, [queue], packets)
+        eventlist.run()
+        assert not any(p.ecn_ce for p in packets)
+        assert queue.stats.packets_marked == 0
+
+    def test_threshold_must_be_positive(self, eventlist):
+        with pytest.raises(ValueError):
+            ECNQueue(eventlist, gbps(10), 9000, 0)
+
+
+class TestLosslessQueue:
+    def test_never_drops(self, eventlist):
+        queue = LosslessQueue(eventlist, gbps(10), max_queue_bytes=4 * 9000)
+        packets = [_packet(9000) for _ in range(20)]
+        sink = _send_through(eventlist, [queue], packets)
+        eventlist.run()
+        assert sink.packets_received == 20
+        assert queue.stats.packets_dropped == 0
+        assert queue.overflow_events > 0  # we overfilled it on purpose
+
+    def test_pauses_upstream_above_threshold_and_resumes(self, eventlist):
+        upstream = DropTailQueue(eventlist, gbps(10), 100 * 9000, name="upstream")
+        queue = LosslessQueue(
+            eventlist,
+            gbps(10),
+            max_queue_bytes=10 * 9000,
+            pause_threshold_bytes=3 * 9000,
+            resume_threshold_bytes=1 * 9000,
+        )
+        queue.register_upstream(upstream)
+        packets = [_packet(9000) for _ in range(6)]
+        _send_through(eventlist, [queue], packets)
+        assert upstream.paused  # backlog exceeded the pause threshold
+        eventlist.run()
+        assert not upstream.paused  # resumed once drained
+        assert upstream.stats.pause_events >= 1
+
+    def test_ecn_marking_when_configured(self, eventlist):
+        queue = LosslessQueue(
+            eventlist,
+            gbps(10),
+            max_queue_bytes=100 * 9000,
+            marking_threshold_bytes=2 * 9000,
+        )
+        packets = [_packet(9000, ecn=True) for _ in range(6)]
+        _send_through(eventlist, [queue], packets)
+        eventlist.run()
+        assert any(p.ecn_ce for p in packets)
+
+    def test_resume_threshold_must_be_below_pause(self, eventlist):
+        with pytest.raises(ValueError):
+            LosslessQueue(
+                eventlist,
+                gbps(10),
+                max_queue_bytes=9000 * 10,
+                pause_threshold_bytes=9000,
+                resume_threshold_bytes=9000,
+            )
+
+
+class TestWorkConservation:
+    def test_queue_is_work_conserving(self, eventlist):
+        """Every admitted byte is eventually forwarded (none lost internally)."""
+        queue = DropTailQueue(eventlist, gbps(10), max_queue_bytes=8 * 9000)
+        packets = [_packet(9000, seq=i) for i in range(50)]
+        sink = _send_through(eventlist, [queue], packets)
+        eventlist.run()
+        admitted = queue.stats.packets_enqueued
+        assert sink.packets_received == admitted
+        assert admitted + queue.stats.packets_dropped == 50

@@ -1,0 +1,124 @@
+"""Tests for the k-ary FatTree topology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.eventlist import EventList
+from repro.sim.pipe import Pipe
+from repro.sim.queues import BaseQueue
+from repro.sim.units import gbps
+from repro.topology.fattree import FatTreeTopology
+
+
+@pytest.fixture
+def fattree(eventlist):
+    return FatTreeTopology(eventlist, k=4)
+
+
+class TestStructure:
+    def test_host_count_is_k_cubed_over_4(self, eventlist):
+        for k, hosts in [(2, 2), (4, 16), (6, 54), (8, 128)]:
+            topo = FatTreeTopology(eventlist, k=k)
+            assert topo.host_count == hosts == k**3 // 4
+
+    def test_k_12_matches_paper_432_hosts(self, eventlist):
+        topo = FatTreeTopology(eventlist, k=12)
+        assert topo.host_count == 432
+
+    def test_odd_or_tiny_k_rejected(self, eventlist):
+        with pytest.raises(ValueError):
+            FatTreeTopology(eventlist, k=5)
+        with pytest.raises(ValueError):
+            FatTreeTopology(eventlist, k=0)
+
+    def test_link_count(self, fattree):
+        # per k=4: 16 host links + (k pods * k/2 tors * k/2 aggs) tor-agg
+        # + (k pods * k/2 aggs * k/2 cores-per-agg) agg-core, all bidirectional
+        k = 4
+        expected_undirected = 16 + k * (k // 2) ** 2 + k * (k // 2) ** 2
+        assert len(fattree.links) == 2 * expected_undirected
+
+    def test_pod_and_tor_assignment(self, fattree):
+        assert fattree.host_pod(0) == 0
+        assert fattree.host_pod(15) == 3
+        assert fattree.host_tor_index(0) == 0
+        assert fattree.host_tor_index(2) == 1
+        assert fattree.tor_of_host(0) == "pod0_tor0"
+        assert fattree.tor_of_host(5) == "pod1_tor0"
+
+
+class TestPaths:
+    def test_same_tor_has_single_path(self, fattree):
+        paths = fattree.get_paths(0, 1)
+        assert len(paths) == 1
+        # host NIC queue+pipe, ToR queue+pipe
+        assert len(paths[0]) == 4
+
+    def test_same_pod_has_radix_paths(self, fattree):
+        paths = fattree.get_paths(0, 2)
+        assert len(paths) == 2  # k/2 aggregation switches
+
+    def test_cross_pod_has_core_count_paths(self, fattree):
+        paths = fattree.get_paths(0, 15)
+        assert len(paths) == 4  # (k/2)^2 core switches
+        assert sorted(p.path_id for p in paths) == [0, 1, 2, 3]
+        # 6 hops: host->tor, tor->agg, agg->core, core->agg, agg->tor, tor->host
+        assert all(len(p) == 12 for p in paths)
+
+    def test_paths_alternate_queue_and_pipe(self, fattree):
+        for path in fattree.get_paths(0, 15):
+            for index, element in enumerate(path):
+                if index % 2 == 0:
+                    assert isinstance(element, BaseQueue)
+                else:
+                    assert isinstance(element, Pipe)
+
+    def test_paths_start_at_source_nic(self, fattree):
+        nic = fattree.host_nic_queue(3)
+        for path in fattree.get_paths(3, 12):
+            assert path[0] is nic
+
+    def test_cross_pod_paths_are_disjoint_in_the_core(self, fattree):
+        paths = fattree.get_paths(0, 15)
+        core_queues = set()
+        for path in paths:
+            names = [getattr(e, "name", "") for e in path]
+            core_hops = [n for n in names if n.startswith("core")]
+            assert core_hops  # every cross-pod path crosses a core switch
+            core_queues.add(core_hops[0])
+        assert len(core_queues) == len(paths)
+
+    def test_self_path_rejected(self, fattree):
+        with pytest.raises(ValueError):
+            fattree.get_paths(3, 3)
+
+    def test_forward_and_reverse_path_counts_match(self, fattree):
+        assert len(fattree.get_paths(0, 15)) == len(fattree.get_paths(15, 0))
+
+
+class TestVariants:
+    def test_oversubscription_reduces_uplink_rate(self, eventlist):
+        topo = FatTreeTopology(eventlist, k=4, oversubscription=4.0)
+        tor_uplink = topo.queue("pod0_tor0", "pod0_agg0")
+        host_link = topo.queue("pod0_tor0", "host0")
+        assert tor_uplink.service_rate_bps == host_link.service_rate_bps // 4
+
+    def test_degrade_core_link(self, fattree):
+        fattree.degrade_core_link(core=0, pod=3, new_rate_bps=gbps(1))
+        assert fattree.queue("core0", "pod3_agg0").service_rate_bps == gbps(1)
+        assert fattree.queue("pod3_agg0", "core0").service_rate_bps == gbps(1)
+        # other links untouched
+        assert fattree.queue("core1", "pod3_agg0").service_rate_bps == gbps(10)
+
+    def test_uplink_and_downlink_queue_sets(self, fattree):
+        uplinks = fattree.uplink_queues()
+        downlinks = fattree.downlink_queues()
+        assert len(downlinks) == fattree.host_count
+        # ToR->agg: 4 pods * 2 tors * 2 aggs = 16; agg->core: 4 pods * 2 aggs * 2 = 16
+        assert len(uplinks) == 32
+        assert not set(id(q) for q in uplinks) & set(id(q) for q in downlinks)
+
+    def test_describe_mentions_size(self, fattree):
+        text = fattree.describe()
+        assert "16 hosts" in text

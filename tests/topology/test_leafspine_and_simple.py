@@ -1,0 +1,107 @@
+"""Tests for the leaf-spine, single-switch and back-to-back topologies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.queues import LosslessQueue
+from repro.sim.units import gbps
+from repro.topology.base import Topology
+from repro.topology.leafspine import LeafSpineTopology
+from repro.topology.simple import BackToBackTopology, SingleSwitchTopology
+
+
+class TestLeafSpine:
+    def test_testbed_dimensions(self, eventlist):
+        # the paper's testbed: 8 servers, four leaves, two spines
+        topo = LeafSpineTopology(eventlist, leaves=4, spines=2, hosts_per_leaf=2)
+        assert topo.host_count == 8
+        assert len(topo.get_paths(0, 2)) == 2  # via each spine
+        assert len(topo.get_paths(0, 1)) == 1  # same leaf
+
+    def test_path_structure(self, eventlist):
+        topo = LeafSpineTopology(eventlist, leaves=3, spines=4, hosts_per_leaf=2)
+        paths = topo.get_paths(0, 5)
+        assert len(paths) == 4
+        assert all(len(p) == 8 for p in paths)  # 4 hops of queue+pipe
+
+    def test_invalid_parameters(self, eventlist):
+        with pytest.raises(ValueError):
+            LeafSpineTopology(eventlist, leaves=0)
+        with pytest.raises(ValueError):
+            LeafSpineTopology(eventlist, oversubscription=0.5)
+
+    def test_same_host_rejected(self, eventlist):
+        topo = LeafSpineTopology(eventlist)
+        with pytest.raises(ValueError):
+            topo.get_paths(2, 2)
+
+
+class TestSingleSwitch:
+    def test_single_path_through_switch(self, eventlist):
+        topo = SingleSwitchTopology(eventlist, hosts=6)
+        assert topo.host_count == 6
+        paths = topo.get_paths(1, 4)
+        assert len(paths) == 1
+        assert len(paths[0]) == 4
+
+    def test_downlink_queue_is_switch_output_port(self, eventlist):
+        topo = SingleSwitchTopology(eventlist, hosts=3)
+        assert topo.downlink_queue(2) is topo.queue("switch0", "host2")
+
+    def test_needs_two_hosts(self, eventlist):
+        with pytest.raises(ValueError):
+            SingleSwitchTopology(eventlist, hosts=1)
+
+
+class TestBackToBack:
+    def test_direct_connection(self, eventlist):
+        topo = BackToBackTopology(eventlist)
+        assert topo.host_count == 2
+        paths = topo.get_paths(0, 1)
+        assert len(paths) == 1
+        assert len(paths[0]) == 2  # NIC queue + cable
+
+    def test_host_nic_queue_lookup(self, eventlist):
+        topo = BackToBackTopology(eventlist)
+        assert topo.host_nic_queue(0) is topo.queue("host0", "host1")
+
+
+class TestBaseTopologyHelpers:
+    def test_set_link_rate_validates(self, eventlist):
+        topo = SingleSwitchTopology(eventlist, hosts=2)
+        with pytest.raises(ValueError):
+            topo.set_link_rate("host0", "switch0", 0)
+        topo.set_link_rate("host0", "switch0", gbps(1))
+        assert topo.queue("host0", "switch0").service_rate_bps == gbps(1)
+
+    def test_duplicate_link_rejected(self, eventlist):
+        topo = SingleSwitchTopology(eventlist, hosts=2)
+        with pytest.raises(ValueError):
+            topo.add_link("host0", "switch0")
+
+    def test_wire_pfc_registers_inbound_ports(self, eventlist):
+        def pfc_factory(evl, rate, name):
+            return LosslessQueue(evl, rate, 20 * 9000, name=name)
+
+        topo = SingleSwitchTopology(
+            eventlist, hosts=3, queue_factory=pfc_factory, host_nic_factory=pfc_factory
+        )
+        wired = topo.wire_pfc()
+        assert wired > 0
+        # the switch->host0 port must pause the host NICs feeding the switch
+        downlink = topo.queue("switch0", "host0")
+        upstream_names = {q.name for q in downlink.upstream_queues()}
+        assert "host1->switch0" in upstream_names
+        assert "host2->switch0" in upstream_names
+
+    def test_fabric_queues_excludes_host_nics(self, eventlist):
+        topo = SingleSwitchTopology(eventlist, hosts=3)
+        fabric = list(topo.fabric_queues())
+        assert len(fabric) == 3  # switch->host ports only
+        assert all(q.name.startswith("switch0->") for q in fabric)
+
+    def test_base_get_paths_is_abstract(self, eventlist):
+        topo = Topology(eventlist)
+        with pytest.raises(NotImplementedError):
+            topo.get_paths(0, 1)
