@@ -1,0 +1,6 @@
+"""Scheduler micro-benchmarks (events/sec, wall-clock, peak heap size).
+
+Unlike the per-figure benchmarks (which validate the *protocols* against the
+paper), this package times the *simulator* itself so every future PR can be
+checked against the perf trajectory.  See ``benchmarks/perf/README.md``.
+"""

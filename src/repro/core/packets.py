@@ -28,6 +28,9 @@ from repro.sim.units import HEADER_BYTES
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.sender import NdpSrc
 
+_LOW = PacketPriority.LOW
+_HIGH = PacketPriority.HIGH
+
 
 class NdpDataPacket(Packet):
     """A data packet (or, once trimmed, just its header)."""
@@ -47,14 +50,24 @@ class NdpDataPacket(Packet):
         src_endpoint: Optional["NdpSrc"] = None,
         is_retransmit: bool = False,
     ) -> None:
-        super().__init__(
-            flow_id=flow_id,
-            src=src,
-            dst=dst,
-            size=payload_bytes + header_bytes,
-            seqno=seqno,
-            priority=PacketPriority.LOW,
-        )
+        # flattened Packet.__init__: one of these is allocated per transmit,
+        # so the two-frame super() chain is replaced with direct field writes
+        size = payload_bytes + header_bytes
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.original_size = size
+        self.seqno = seqno
+        self.route = None
+        self.hop = 0
+        self.priority = _LOW
+        self.is_header_only = False
+        self.bounced = False
+        self.ecn_capable = False
+        self.ecn_ce = False
+        self.path_id = 0
+        self.send_time = 0
         self.syn = syn
         self.last = last
         self.payload_bytes = payload_bytes
@@ -76,14 +89,22 @@ class NdpControlPacket(Packet):
         data_path_id: int = 0,
         header_bytes: int = HEADER_BYTES,
     ) -> None:
-        super().__init__(
-            flow_id=flow_id,
-            src=src,
-            dst=dst,
-            size=header_bytes,
-            seqno=seqno,
-            priority=PacketPriority.HIGH,
-        )
+        # flattened Packet.__init__ (see NdpDataPacket: one per ACK/NACK/PULL)
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.size = header_bytes
+        self.original_size = header_bytes
+        self.seqno = seqno
+        self.route = None
+        self.hop = 0
+        self.priority = _HIGH
+        self.is_header_only = False
+        self.bounced = False
+        self.ecn_capable = False
+        self.ecn_ce = False
+        self.path_id = 0
+        self.send_time = 0
         #: path the corresponding *data* packet travelled on; lets the sender
         #: update its path scoreboard.
         self.data_path_id = data_path_id

@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.sim.packet import Route
 
 
-@dataclass
+@dataclass(slots=True)
 class PathScore:
     """ACK/NACK/loss counters for one path."""
 
@@ -84,6 +84,7 @@ class PathManager:
         self.routes: List[Route] = list(routes)
         self.rng = rng if rng is not None else random.Random(0)
         self.mode = mode
+        self._random_mode = mode == "random"
         self.penalize = penalize
         self.min_samples = min_samples
         self.nack_ratio = nack_ratio
@@ -115,12 +116,14 @@ class PathManager:
 
     def next_route(self) -> Route:
         """Return the route to use for the next packet."""
-        if self.mode == "random":
+        if self._random_mode:
             return self.rng.choice(self._usable_routes())
-        if self._position >= len(self._permutation):
+        position = self._position
+        if position >= len(self._permutation):
             self._generate_permutation()
-        route = self._permutation[self._position]
-        self._position += 1
+            position = 0
+        route = self._permutation[position]
+        self._position = position + 1
         return route
 
     def route_for_path(self, path_id: int) -> Route:

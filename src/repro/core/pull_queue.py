@@ -16,7 +16,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, Optional, TYPE_CHECKING
 
-from repro.sim.eventlist import Event, EventList
+from repro.sim.eventlist import EventList
 from repro.sim.units import serialization_time_ps
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -25,6 +25,26 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 class NdpPullPacer:
     """Drains a host's shared pull queue at (a fraction of) its link rate."""
+
+    __slots__ = (
+        "eventlist",
+        "link_rate_bps",
+        "mtu_bytes",
+        "name",
+        "pull_interval_ps",
+        "_pending",
+        "_sinks",
+        "_normal_rr",
+        "_priority_rr",
+        "_queued_flows",
+        "_next_allowed_time",
+        "_tick_armed",
+        "_send_one_cb",
+        "_total_pending",
+        "pulls_sent",
+        "pulls_purged",
+        "__dict__",
+    )
 
     def __init__(
         self,
@@ -40,8 +60,12 @@ class NdpPullPacer:
         self.link_rate_bps = link_rate_bps
         self.mtu_bytes = mtu_bytes
         self.name = name
+        # Round half-up: plain int() truncates toward zero, which makes the
+        # pacer run slightly *faster* than the configured fraction and the
+        # error compounds over a long run (one pull interval is short, but a
+        # Figure-12-style run sends hundreds of thousands of pulls).
         self.pull_interval_ps = int(
-            serialization_time_ps(mtu_bytes, link_rate_bps) / rate_fraction
+            serialization_time_ps(mtu_bytes, link_rate_bps) / rate_fraction + 0.5
         )
         # Per-connection FIFO credit counts.
         self._pending: Dict[int, int] = {}
@@ -51,7 +75,9 @@ class NdpPullPacer:
         self._priority_rr: Deque[int] = deque()
         self._queued_flows: set[int] = set()
         self._next_allowed_time = 0
-        self._scheduled: Optional[Event] = None
+        self._tick_armed = False
+        self._send_one_cb = self._send_one
+        self._total_pending = 0
         self.pulls_sent = 0
         self.pulls_purged = 0
 
@@ -74,13 +100,22 @@ class NdpPullPacer:
         if flow_id not in self._sinks:
             self.register(sink)
         self._pending[flow_id] = self._pending.get(flow_id, 0) + 1
+        self._total_pending += 1
         if flow_id not in self._queued_flows:
             self._queued_flows.add(flow_id)
             if sink.priority:
                 self._priority_rr.append(flow_id)
             else:
                 self._normal_rr.append(flow_id)
-        self._schedule_next()
+        # arm the standing tick if idle (runs once per arriving packet)
+        if not self._tick_armed:
+            eventlist = self.eventlist
+            when = self._next_allowed_time
+            now = eventlist._now
+            if when < now:
+                when = now
+            self._tick_armed = True
+            eventlist.schedule_raw(when, self._send_one_cb)
 
     def purge(self, flow_id: int) -> None:
         """Drop all queued pull requests for *flow_id*.
@@ -91,6 +126,7 @@ class NdpPullPacer:
         pending = self._pending.get(flow_id, 0)
         if pending:
             self.pulls_purged += pending
+            self._total_pending -= pending
         self._pending[flow_id] = 0
         # Lazy removal: the flow id stays in the RR deques and is skipped
         # when it comes up with zero credit.
@@ -99,29 +135,33 @@ class NdpPullPacer:
         """Number of queued pull requests (for one flow or in total)."""
         if flow_id is not None:
             return self._pending.get(flow_id, 0)
-        return sum(self._pending.values())
+        return self._total_pending
 
     # --- pacing loop ------------------------------------------------------------
-
-    def _schedule_next(self) -> None:
-        if self._scheduled is not None:
-            return
-        if self.outstanding() == 0:
-            return
-        when = max(self.eventlist.now(), self._next_allowed_time)
-        self._scheduled = self.eventlist.schedule(when, self._send_one)
+    #
+    # One standing tick drives the whole pacer: while requests are queued,
+    # exactly one raw entry is in the scheduler at a time.  The tick-arming
+    # logic lives inline in request_pull() and at the tail of _send_one()
+    # (the only two places backlog can appear).
 
     def _send_one(self) -> None:
-        self._scheduled = None
+        self._tick_armed = False
         flow_id = self._next_flow()
         if flow_id is None:
             return
         self._pending[flow_id] -= 1
+        self._total_pending -= 1
         sink = self._sinks[flow_id]
-        self._next_allowed_time = self.eventlist.now() + self._next_interval()
+        eventlist = self.eventlist
+        when = self._next_allowed_time = eventlist._now + self._next_interval()
         self.pulls_sent += 1
         sink.emit_pull()
-        self._schedule_next()
+        # re-arm the standing tick while backlog remains; emit_pull may
+        # already have re-armed via request_pull, and the next allowed time
+        # can never be in the past here
+        if not self._tick_armed and self._total_pending:
+            self._tick_armed = True
+            eventlist.schedule_raw(when, self._send_one_cb)
 
     def _next_interval(self) -> int:
         """Spacing until the next PULL may be sent.

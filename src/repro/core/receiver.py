@@ -36,6 +36,26 @@ from repro.sim.packet import Packet, Route
 class NdpSink(NetworkEndpoint):
     """Receiving endpoint of one NDP connection."""
 
+    __slots__ = (
+        "flow_id",
+        "config",
+        "pacer",
+        "priority",
+        "on_complete",
+        "rng",
+        "reverse_paths",
+        "record",
+        "src_node_id",
+        "_received",
+        "_expected_packets",
+        "_pull_counter",
+        "_saw_last",
+        "_highest_seqno_seen",
+        "acks_sent",
+        "nacks_sent",
+        "pulls_emitted",
+    )
+
     def __init__(
         self,
         eventlist: EventList,
@@ -113,14 +133,17 @@ class NdpSink(NetworkEndpoint):
     def receive_packet(self, packet: Packet) -> None:
         if not isinstance(packet, NdpDataPacket):
             raise TypeError(f"NdpSink received unexpected packet type {type(packet)!r}")
-        if self.record.start_time_ps is None:
-            self.record.start_time_ps = self.now()
+        record = self.record
+        if record.start_time_ps is None:
+            record.start_time_ps = self.eventlist._now
         if packet.syn and self.src_node_id < 0:
             # Zero-RTT connection establishment: whichever first-RTT packet
             # arrives first creates the connection state.
             self.src_node_id = packet.src
-            self.record.src = packet.src
-        self._highest_seqno_seen = max(self._highest_seqno_seen, packet.seqno)
+            record.src = packet.src
+        seqno = packet.seqno
+        if seqno > self._highest_seqno_seen:
+            self._highest_seqno_seen = seqno
         if packet.last:
             self._saw_last = True
         if packet.is_header_only:
@@ -130,53 +153,83 @@ class NdpSink(NetworkEndpoint):
 
     def _handle_data(self, packet: NdpDataPacket) -> None:
         self.record.packets_delivered += 1
-        is_new = packet.seqno not in self._received
-        if is_new:
-            self._received.add(packet.seqno)
+        seqno = packet.seqno
+        if seqno not in self._received:
+            self._received.add(seqno)
             self.record.bytes_delivered += packet.payload_bytes
+        # positional construction: one ACK per arriving data packet
         self._send_control(
             NdpAck(
-                flow_id=self.flow_id,
-                src=self.node_id,
-                dst=packet.src,
-                seqno=packet.seqno,
-                data_path_id=packet.path_id,
-                header_bytes=self.config.header_bytes,
+                self.flow_id,
+                self.node_id,
+                packet.src,
+                seqno,
+                packet.path_id,
+                self.config.header_bytes,
             )
         )
         self.acks_sent += 1
-        if self.complete:
-            self._finish()
+        # inlined completeness / pull-gate checks (once per data arrival):
+        # semantics match the `complete` property and the pacer pull gate
+        # (ask for a pull only while outstanding pulls < packets still needed)
+        expected = self._expected_packets
+        received = len(self._received)
+        if expected is not None:
+            remaining = expected - received
+            if remaining <= 0:
+                self._finish()
+                return
         else:
-            self._maybe_request_pull()
+            if self._saw_last and received == self._highest_seqno_seen + 1:
+                self._finish()
+                return
+            remaining = (
+                self._highest_seqno_seen + 1 - received if self._saw_last else None
+            )
+        if remaining is not None and self.pacer._pending.get(self.flow_id, 0) >= remaining:
+            return
+        self.pacer.request_pull(self)
 
     def _handle_header(self, packet: NdpDataPacket) -> None:
         self.record.headers_received += 1
         self._send_control(
             NdpNack(
-                flow_id=self.flow_id,
-                src=self.node_id,
-                dst=packet.src,
-                seqno=packet.seqno,
-                data_path_id=packet.path_id,
-                header_bytes=self.config.header_bytes,
+                self.flow_id,
+                self.node_id,
+                packet.src,
+                packet.seqno,
+                packet.path_id,
+                self.config.header_bytes,
             )
         )
         self.nacks_sent += 1
-        if not self.complete:
-            self._maybe_request_pull()
-
-    # --- pulls -----------------------------------------------------------------------
-
-    def _maybe_request_pull(self) -> None:
-        remaining = self.remaining_packets()
-        if remaining is not None and self.pacer.outstanding(self.flow_id) >= remaining:
+        # inlined completeness / pull-gate (matches _handle_data above)
+        expected = self._expected_packets
+        received = len(self._received)
+        if expected is not None:
+            remaining = expected - received
+            if remaining <= 0:
+                return
+        else:
+            if self._saw_last and received == self._highest_seqno_seen + 1:
+                return
+            remaining = (
+                self._highest_seqno_seen + 1 - received if self._saw_last else None
+            )
+        if remaining is not None and self.pacer._pending.get(self.flow_id, 0) >= remaining:
             return
         self.pacer.request_pull(self)
 
+    # --- pulls -----------------------------------------------------------------------
+
     def emit_pull(self) -> None:
         """Called by the pacer when it is this connection's turn to pull."""
-        if self.complete:
+        # inlined `complete` property (once per emitted PULL)
+        expected = self._expected_packets
+        if expected is not None:
+            if len(self._received) >= expected:
+                return
+        elif self._saw_last and len(self._received) == self._highest_seqno_seen + 1:
             return
         self._pull_counter += 1
         self.pulls_emitted += 1
@@ -194,7 +247,12 @@ class NdpSink(NetworkEndpoint):
 
     def _send_control(self, packet: Packet) -> None:
         route = self.reverse_paths.next_route()
-        self.inject(packet, route)
+        # inlined NetworkEndpoint.inject (one call per ACK/NACK/PULL)
+        packet.route = route
+        packet.path_id = route.path_id
+        packet.hop = 1
+        packet.send_time = self.eventlist._now
+        route.elements[0].receive_packet(packet)
 
     def _finish(self) -> None:
         if self.record.finish_time_ps is None:

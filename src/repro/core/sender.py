@@ -27,7 +27,7 @@ from typing import Callable, Deque, Dict, List, Optional, Sequence, Set
 from repro.core.config import NdpConfig
 from repro.core.packets import NdpAck, NdpDataPacket, NdpNack, NdpPull
 from repro.core.path_manager import PathManager
-from repro.sim.eventlist import Event, EventList
+from repro.sim.eventlist import EventList, Timer
 from repro.sim.logger import FlowRecord
 from repro.sim.network import NetworkEndpoint
 from repro.sim.packet import Packet, Route
@@ -37,6 +37,39 @@ from repro.core.receiver import NdpSink
 
 class NdpSrc(NetworkEndpoint):
     """Sending endpoint of one NDP connection."""
+
+    __slots__ = (
+        "flow_id",
+        "dst_node_id",
+        "flow_size_bytes",
+        "config",
+        "rng",
+        "on_complete",
+        "record_packet_latencies",
+        "paths",
+        "payload_per_packet",
+        "total_packets",
+        "_tail_payload",
+        "record",
+        "sink",
+        "_next_new_seqno",
+        "_acked",
+        "_nacked",
+        "_rtx_queue",
+        "_rtx_queued",
+        "_last_pull_counter",
+        "_last_path_used",
+        "_first_send_time",
+        "_rto_timers",
+        "_started",
+        "_handlers",
+        "packets_sent",
+        "acks_received",
+        "nacks_received",
+        "pulls_received",
+        "bounces_received",
+        "packet_latencies_ps",
+    )
 
     def __init__(
         self,
@@ -75,6 +108,8 @@ class NdpSrc(NetworkEndpoint):
         payload = self.config.mtu_bytes - self.config.header_bytes
         self.payload_per_packet = payload
         self.total_packets = (flow_size_bytes + payload - 1) // payload
+        remainder = flow_size_bytes - (self.total_packets - 1) * payload
+        self._tail_payload = remainder if remainder > 0 else payload
 
         self.record = FlowRecord(
             flow_id=flow_id, src=node_id, dst=dst_node_id, flow_size_bytes=flow_size_bytes
@@ -89,8 +124,21 @@ class NdpSrc(NetworkEndpoint):
         self._last_pull_counter = 0
         self._last_path_used: Dict[int, int] = {}
         self._first_send_time: Dict[int, int] = {}
-        self._rto_events: Dict[int, Event] = {}
+        # RTO timers: one reusable cancellable Timer per seqno.  Re-arming on
+        # retransmit and cancelling on ACK/NACK are O(1) generation bumps —
+        # the scheduler eagerly evicts the dead entries, so cancelled RTOs no
+        # longer pile up in the pending queue the way per-packet heap events
+        # used to.
+        self._rto_timers: Dict[int, Timer] = {}
         self._started = False
+        # exact-type dispatch table for the receive path (cheaper than an
+        # isinstance chain at one lookup per arriving control packet)
+        self._handlers = {
+            NdpAck: self._handle_ack,
+            NdpNack: self._handle_nack,
+            NdpPull: self._handle_pull,
+            NdpDataPacket: self._handle_returned_data,
+        }
 
         self.packets_sent = 0
         self.acks_received = 0
@@ -153,18 +201,19 @@ class NdpSrc(NetworkEndpoint):
         if route is None:
             route = self.paths.next_route()
         is_last = seqno == self.total_packets - 1
-        payload = self._payload_size(seqno)
+        payload = self._tail_payload if is_last else self.payload_per_packet
+        # positional construction: this runs once per transmitted packet
         packet = NdpDataPacket(
-            flow_id=self.flow_id,
-            src=self.node_id,
-            dst=self.dst_node_id,
-            seqno=seqno,
-            payload_bytes=payload,
-            header_bytes=self.config.header_bytes,
-            syn=syn,
-            last=is_last,
-            src_endpoint=self,
-            is_retransmit=is_retransmit,
+            self.flow_id,
+            self.node_id,
+            self.dst_node_id,
+            seqno,
+            payload,
+            self.config.header_bytes,
+            syn,
+            is_last,
+            self,
+            is_retransmit,
         )
         self._last_path_used[seqno] = route.path_id
         if seqno not in self._first_send_time:
@@ -173,13 +222,17 @@ class NdpSrc(NetworkEndpoint):
             self.record.retransmissions += 1
         self.packets_sent += 1
         self._arm_rto(seqno)
-        self.inject(packet, route)
+        # inlined NetworkEndpoint.inject (one call per transmitted packet)
+        packet.route = route
+        packet.path_id = route.path_id
+        packet.hop = 1
+        packet.send_time = self.eventlist._now
+        route.elements[0].receive_packet(packet)
 
     def _payload_size(self, seqno: int) -> int:
         if seqno < self.total_packets - 1:
             return self.payload_per_packet
-        remainder = self.flow_size_bytes - (self.total_packets - 1) * self.payload_per_packet
-        return remainder if remainder > 0 else self.payload_per_packet
+        return self._tail_payload
 
     def _send_pulled_packets(self, count: int) -> None:
         for _ in range(count):
@@ -201,26 +254,42 @@ class NdpSrc(NetworkEndpoint):
     # --- receive path -------------------------------------------------------------------
 
     def receive_packet(self, packet: Packet) -> None:
-        if isinstance(packet, NdpAck):
-            self._handle_ack(packet)
-        elif isinstance(packet, NdpNack):
-            self._handle_nack(packet)
-        elif isinstance(packet, NdpPull):
-            self._handle_pull(packet)
-        elif isinstance(packet, NdpDataPacket) and packet.bounced:
-            self._handle_bounce(packet)
-        else:
+        handler = self._handlers.get(type(packet))
+        if handler is None:
+            # subclassed packet types still dispatch correctly, just slower
+            if isinstance(packet, NdpAck):
+                handler = self._handle_ack
+            elif isinstance(packet, NdpNack):
+                handler = self._handle_nack
+            elif isinstance(packet, NdpPull):
+                handler = self._handle_pull
+            elif isinstance(packet, NdpDataPacket):
+                handler = self._handle_returned_data
+            else:
+                raise TypeError(f"NdpSrc received unexpected packet {packet!r}")
+        handler(packet)
+
+    def _handle_returned_data(self, packet: NdpDataPacket) -> None:
+        if not packet.bounced:
             raise TypeError(f"NdpSrc received unexpected packet {packet!r}")
+        self._handle_bounce(packet)
 
     def _handle_ack(self, ack: NdpAck) -> None:
         self.acks_received += 1
-        self.paths.record_ack(ack.data_path_id)
+        # inlined PathManager.record_ack (once per delivered packet)
+        score = self.paths.scores.get(ack.data_path_id)
+        if score is not None:
+            score.acks += 1
         seqno = ack.seqno
         if seqno in self._acked:
             return
         self._acked.add(seqno)
         self._nacked.discard(seqno)
-        self._cancel_rto(seqno)
+        # inlined _cancel_rto/Timer.cancel (once per delivered packet)
+        timer = self._rto_timers.get(seqno)
+        if timer is not None and timer._gen == timer._armed_gen:
+            timer._gen += 1
+            self.eventlist._note_stale()
         self.record.bytes_delivered += self._payload_size(seqno)
         self.record.packets_delivered += 1
         if self.record_packet_latencies and seqno in self._first_send_time:
@@ -231,9 +300,16 @@ class NdpSrc(NetworkEndpoint):
     def _handle_nack(self, nack: NdpNack) -> None:
         self.nacks_received += 1
         self.record.rtx_from_nack += 1
-        self.paths.record_nack(nack.data_path_id)
+        # inlined PathManager.record_nack (once per trimmed packet)
+        score = self.paths.scores.get(nack.data_path_id)
+        if score is not None:
+            score.nacks += 1
         seqno = nack.seqno
-        self._cancel_rto(seqno)
+        # inlined _cancel_rto/Timer.cancel (once per trimmed packet)
+        timer = self._rto_timers.get(seqno)
+        if timer is not None and timer._gen == timer._armed_gen:
+            timer._gen += 1
+            self.eventlist._note_stale()
         if seqno in self._acked or seqno in self._rtx_queued:
             return
         self._nacked.add(seqno)
@@ -275,18 +351,20 @@ class NdpSrc(NetworkEndpoint):
     # --- timers ------------------------------------------------------------------------
 
     def _arm_rto(self, seqno: int) -> None:
-        self._cancel_rto(seqno)
-        self._rto_events[seqno] = self.eventlist.schedule_in(
-            self.config.rto_ps, self._handle_timeout, seqno
-        )
+        timer = self._rto_timers.get(seqno)
+        if timer is None:
+            timer = self._rto_timers[seqno] = Timer(
+                self.eventlist, self._handle_timeout, seqno
+            )
+        # re-arming supersedes any pending arm for this seqno in O(1)
+        timer.schedule_at(self.eventlist._now + self.config.rto_ps)
 
     def _cancel_rto(self, seqno: int) -> None:
-        event = self._rto_events.pop(seqno, None)
-        if event is not None:
-            event.cancel()
+        timer = self._rto_timers.get(seqno)
+        if timer is not None:
+            timer.cancel()
 
     def _handle_timeout(self, seqno: int) -> None:
-        self._rto_events.pop(seqno, None)
         if seqno in self._acked or seqno in self._nacked or seqno in self._rtx_queued:
             return  # fate already known; the pull clock will handle it
         self.record.rtx_from_timeout += 1
@@ -300,8 +378,8 @@ class NdpSrc(NetworkEndpoint):
         if self.record.finish_time_ps is not None:
             return
         self.record.finish_time_ps = self.now()
-        for event in self._rto_events.values():
-            event.cancel()
-        self._rto_events.clear()
+        for timer in self._rto_timers.values():
+            timer.cancel()
+        self._rto_timers.clear()
         if self.on_complete is not None:
             self.on_complete(self)

@@ -23,11 +23,18 @@ import random
 from collections import deque
 from typing import Deque, Optional
 
+from bisect import insort as _insort
+from heapq import heappush as _heappush
+
 from repro.core.config import NdpConfig
 from repro.core.packets import NdpDataPacket
-from repro.sim.eventlist import EventList
+from repro.sim.eventlist import _WHEEL_MASK, _WHEEL_SHIFT, _WHEEL_SLOTS, EventList
 from repro.sim.packet import Packet, PacketPriority
-from repro.sim.queues import BaseQueue
+from repro.sim.pipe import Pipe
+from repro.sim.queues import _BITS_PS, BaseQueue
+
+#: hoisted enum member: attribute + enum lookups are measurable per packet
+_HIGH = PacketPriority.HIGH
 
 
 class NdpSwitchQueue(BaseQueue):
@@ -55,6 +62,26 @@ class NdpSwitchQueue(BaseQueue):
         substitution.
     """
 
+    __slots__ = (
+        "config",
+        "rng",
+        "bounce_delay_ps",
+        "_data_queue",
+        "_header_queue",
+        "_data_bytes",
+        "_header_bytes",
+        "_headers_since_data",
+        "trimmed_arriving",
+        "trimmed_from_tail",
+        "headers_bounced",
+        "control_dropped",
+        "_data_cap_packets",
+        "_header_cap_bytes",
+        "_wrr_ratio",
+        "_trim_arriving_p",
+        "_trim_header_bytes",
+    )
+
     def __init__(
         self,
         eventlist: EventList,
@@ -76,6 +103,13 @@ class NdpSwitchQueue(BaseQueue):
         self._data_bytes = 0
         self._header_bytes = 0
         self._headers_since_data = 0
+        # hot-path copies of the config knobs (attribute-chain lookups on the
+        # dataclass are measurable at one admission + one selection per packet)
+        self._data_cap_packets = self.config.data_queue_packets
+        self._header_cap_bytes = self.config.header_queue_bytes
+        self._wrr_ratio = self.config.wrr_headers_per_data
+        self._trim_arriving_p = self.config.trim_arriving_probability
+        self._trim_header_bytes = self.config.header_bytes
         # detailed counters beyond the generic QueueStats
         self.trimmed_arriving = 0
         self.trimmed_from_tail = 0
@@ -105,20 +139,72 @@ class NdpSwitchQueue(BaseQueue):
     # --- admission ------------------------------------------------------------
 
     def receive_packet(self, packet: Packet) -> None:
-        if packet.priority == PacketPriority.HIGH or packet.is_header_only:
-            self._admit_header(packet)
+        # The two admission fast paths (queue not full) are inlined here:
+        # admission runs once per packet per hop and the congested ports of
+        # an incast spend most of their arrivals on exactly these branches.
+        size = packet.size
+        if packet.priority is _HIGH or packet.is_header_only:
+            header_bytes = self._header_bytes + size
+            if header_bytes <= self._header_cap_bytes:
+                stats = self.stats
+                stats.packets_enqueued += 1
+                if (
+                    not self._busy
+                    and not self._header_queue
+                    and not self._data_queue
+                    and not self._paused
+                ):
+                    # idle port: serve directly, skipping the queue round-trip
+                    # (bookkeeping mirrors _record_enqueue + _select_next)
+                    queue_bytes = self._data_bytes + header_bytes
+                    if queue_bytes > stats.max_queue_bytes:
+                        stats.max_queue_bytes = queue_bytes
+                    self._headers_since_data += 1
+                    self._start_service(packet)
+                    return
+                self._header_queue.append(packet)
+                self._header_bytes = header_bytes
+                queue_bytes = self.queue_bytes = self._data_bytes + header_bytes
+                if queue_bytes > stats.max_queue_bytes:
+                    stats.max_queue_bytes = queue_bytes
+                if not self._busy and not self._paused:
+                    self._maybe_start_service()
+            else:
+                self._admit_header(packet)
+        elif len(self._data_queue) < self._data_cap_packets:
+            stats = self.stats
+            stats.packets_enqueued += 1
+            if (
+                not self._busy
+                and not self._header_queue
+                and not self._data_queue
+                and not self._paused
+            ):
+                queue_bytes = self._data_bytes + self._header_bytes + size
+                if queue_bytes > stats.max_queue_bytes:
+                    stats.max_queue_bytes = queue_bytes
+                self._headers_since_data = 0
+                self._start_service(packet)
+                return
+            self._data_queue.append(packet)
+            data_bytes = self._data_bytes = self._data_bytes + size
+            queue_bytes = self.queue_bytes = data_bytes + self._header_bytes
+            if queue_bytes > stats.max_queue_bytes:
+                stats.max_queue_bytes = queue_bytes
+            if not self._busy and not self._paused:
+                self._maybe_start_service()
         else:
             self._admit_data(packet)
 
     def _admit_data(self, packet: Packet) -> None:
-        if len(self._data_queue) < self.config.data_queue_packets:
+        if len(self._data_queue) < self._data_cap_packets:
             self._data_queue.append(packet)
             self._data_bytes += packet.size
             self._record_enqueue(packet)
             self._maybe_start_service()
             return
         # Data queue full: trim either the arriving packet or the tail packet.
-        if self.rng.random() < self.config.trim_arriving_probability:
+        if self.rng.random() < self._trim_arriving_p:
             victim = packet
             self.trimmed_arriving += 1
         else:
@@ -128,13 +214,18 @@ class NdpSwitchQueue(BaseQueue):
             self._data_bytes += packet.size
             self._record_enqueue(packet)
             self.trimmed_from_tail += 1
-        victim.trim(self.config.header_bytes)
+        # inlined Packet.trim (once per trimmed packet)
+        if not victim.is_header_only:
+            victim.original_size = victim.size
+        victim.size = self._trim_header_bytes
+        victim.is_header_only = True
+        victim.priority = _HIGH
         self.stats.packets_trimmed += 1
         self._admit_header(victim)
         self._maybe_start_service()
 
     def _admit_header(self, packet: Packet) -> None:
-        if self._header_bytes + packet.size <= self.config.header_queue_bytes:
+        if self._header_bytes + packet.size <= self._header_cap_bytes:
             self._header_queue.append(packet)
             self._header_bytes += packet.size
             self._record_enqueue(packet)
@@ -151,8 +242,9 @@ class NdpSwitchQueue(BaseQueue):
             packet.bounced = True
             self.headers_bounced += 1
             self.stats.packets_bounced += 1
-            self.eventlist.schedule_in(
-                self.bounce_delay_ps, packet.src_endpoint.receive_packet, packet
+            # raw entry: a bounce delivery is never cancelled
+            self.eventlist.schedule_raw_in(
+                self.bounce_delay_ps, packet.src_endpoint.receive_packet, (packet,)
             )
             return
         if packet.is_control():
@@ -160,31 +252,162 @@ class NdpSwitchQueue(BaseQueue):
         self.stats.record_drop(packet.size)
 
     def _record_enqueue(self, packet: Packet) -> None:
-        self.stats.packets_enqueued += 1
-        self.queue_bytes = self._data_bytes + self._header_bytes
-        if self.queue_bytes > self.stats.max_queue_bytes:
-            self.stats.max_queue_bytes = self.queue_bytes
+        stats = self.stats
+        stats.packets_enqueued += 1
+        queue_bytes = self.queue_bytes = self._data_bytes + self._header_bytes
+        if queue_bytes > stats.max_queue_bytes:
+            stats.max_queue_bytes = queue_bytes
 
     # --- scheduling -----------------------------------------------------------
 
     def _select_next(self) -> Optional[Packet]:
-        serve_header = False
-        if self._header_queue and not self._data_queue:
-            serve_header = True
-        elif self._header_queue and self._data_queue:
-            serve_header = self._headers_since_data < self.config.wrr_headers_per_data
-        if serve_header:
-            packet = self._header_queue.popleft()
+        header_queue = self._header_queue
+        data_queue = self._data_queue
+        if header_queue and (
+            not data_queue or self._headers_since_data < self._wrr_ratio
+        ):
+            packet = header_queue.popleft()
             self._header_bytes -= packet.size
             self._headers_since_data += 1
-        elif self._data_queue:
-            packet = self._data_queue.popleft()
+        elif data_queue:
+            packet = data_queue.popleft()
             self._data_bytes -= packet.size
             self._headers_since_data = 0
         else:
             return None
         self.queue_bytes = self._data_bytes + self._header_bytes
         return packet
+
+    def _maybe_start_service(self) -> None:
+        # WRR selection inlined ahead of the shared starter: this runs once
+        # per serialized packet on every switch port (semantics identical to
+        # BaseQueue._maybe_start_service with _select_next above)
+        if self._busy or self._paused:
+            return
+        header_queue = self._header_queue
+        data_queue = self._data_queue
+        if header_queue and (
+            not data_queue or self._headers_since_data < self._wrr_ratio
+        ):
+            packet = header_queue.popleft()
+            self._header_bytes -= packet.size
+            self._headers_since_data += 1
+        elif data_queue:
+            packet = data_queue.popleft()
+            self._data_bytes -= packet.size
+            self._headers_since_data = 0
+        else:
+            return
+        self.queue_bytes = self._data_bytes + self._header_bytes
+        # body of BaseQueue._start_service, duplicated to save a call frame
+        self._busy = True
+        self._in_service = packet
+        size = packet.size
+        try:
+            delay = self._ser_cache[size]
+        except KeyError:
+            delay = self._ser_cache[size] = (
+                size * _BITS_PS + self._rate_half
+            ) // self.service_rate_bps
+        if self.serialization_jitter_ps:
+            delay += self._jitter_rng.randint(0, self.serialization_jitter_ps)
+        eventlist = self.eventlist
+        when = eventlist._now + delay
+        seq = eventlist._sequence = eventlist._sequence + 1
+        entry = (when, seq, None, 0, self._complete_cb, ())
+        delta = (when >> _WHEEL_SHIFT) - eventlist._cursor
+        if delta <= 0:
+            _insort(eventlist._cur_spill, entry)
+            eventlist._wheel_count += 1
+        elif delta < _WHEEL_SLOTS:
+            eventlist._wheel[(when >> _WHEEL_SHIFT) & _WHEEL_MASK].append(entry)
+            eventlist._wheel_count += 1
+        else:
+            _heappush(eventlist._far, entry)
+
+    def _complete_service(self) -> None:
+        # Specialized copy of BaseQueue._complete_service with the WRR
+        # selection and service start fused into the tail — the congested
+        # port of an incast lives in this method, so every saved call frame
+        # counts.  Keep semantics in sync with the base implementation.
+        packet = self._in_service
+        self._in_service = None
+        self._busy = False
+        if packet is not None:
+            stats = self.stats
+            size = packet.size
+            stats.packets_forwarded += 1
+            stats.bytes_forwarded += size
+            if not packet.is_header_only:
+                stats.data_bytes_forwarded += size
+            if self._has_departed_hook:
+                self._packet_departed(packet)
+            hop = packet.hop
+            elements = packet.route.elements
+            nxt = elements[hop]
+            if type(nxt) is Pipe:
+                nxt.packets_carried += 1
+                nxt.bytes_carried += size
+                packet.hop = hop + 2
+                eventlist = self.eventlist
+                when = eventlist._now + nxt.delay_ps
+                seq = eventlist._sequence = eventlist._sequence + 1
+                entry = (when, seq, None, 0, elements[hop + 1].receive_packet, (packet,))
+                delta = (when >> _WHEEL_SHIFT) - eventlist._cursor
+                if delta <= 0:
+                    _insort(eventlist._cur_spill, entry)
+                    eventlist._wheel_count += 1
+                elif delta < _WHEEL_SLOTS:
+                    eventlist._wheel[(when >> _WHEEL_SHIFT) & _WHEEL_MASK].append(entry)
+                    eventlist._wheel_count += 1
+                else:
+                    _heappush(eventlist._far, entry)
+            else:
+                packet.hop = hop + 1
+                nxt.receive_packet(packet)
+        # fused _maybe_start_service (forwarding above can re-enter, so the
+        # busy re-check is required)
+        if self._busy or self._paused:
+            return
+        header_queue = self._header_queue
+        data_queue = self._data_queue
+        if header_queue and (
+            not data_queue or self._headers_since_data < self._wrr_ratio
+        ):
+            packet = header_queue.popleft()
+            self._header_bytes -= packet.size
+            self._headers_since_data += 1
+        elif data_queue:
+            packet = data_queue.popleft()
+            self._data_bytes -= packet.size
+            self._headers_since_data = 0
+        else:
+            return
+        self.queue_bytes = self._data_bytes + self._header_bytes
+        self._busy = True
+        self._in_service = packet
+        size = packet.size
+        try:
+            delay = self._ser_cache[size]
+        except KeyError:
+            delay = self._ser_cache[size] = (
+                size * _BITS_PS + self._rate_half
+            ) // self.service_rate_bps
+        if self.serialization_jitter_ps:
+            delay += self._jitter_rng.randint(0, self.serialization_jitter_ps)
+        eventlist = self.eventlist
+        when = eventlist._now + delay
+        seq = eventlist._sequence = eventlist._sequence + 1
+        entry = (when, seq, None, 0, self._complete_cb, ())
+        delta = (when >> _WHEEL_SHIFT) - eventlist._cursor
+        if delta <= 0:
+            _insort(eventlist._cur_spill, entry)
+            eventlist._wheel_count += 1
+        elif delta < _WHEEL_SLOTS:
+            eventlist._wheel[(when >> _WHEEL_SHIFT) & _WHEEL_MASK].append(entry)
+            eventlist._wheel_count += 1
+        else:
+            _heappush(eventlist._far, entry)
 
 
 class CpSwitchQueue(BaseQueue):
@@ -197,6 +420,8 @@ class CpSwitchQueue(BaseQueue):
     the arriving packet" rule produces strong phase effects.  This class
     exists so Figure 2 can be reproduced with both switch designs.
     """
+
+    __slots__ = ("config", "_data_packets_queued")
 
     def __init__(
         self,

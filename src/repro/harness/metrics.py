@@ -26,9 +26,12 @@ def percentile(values: Sequence[float], fraction: float) -> float:
     """The *fraction*-th percentile (0..1) using linear interpolation."""
     if not 0.0 <= fraction <= 1.0:
         raise ValueError(f"fraction must be in [0, 1], got {fraction}")
-    ordered = sorted(values)
-    if not ordered:
+    # validate before sorting: an empty input should fail fast, not after a
+    # (potentially expensive) sort of a generator that was materialized first
+    values = list(values)
+    if not values:
         raise ValueError("cannot take a percentile of an empty sequence")
+    ordered = sorted(values)
     if len(ordered) == 1:
         return float(ordered[0])
     position = fraction * (len(ordered) - 1)

@@ -14,7 +14,7 @@ from typing import Callable, List, Optional, Tuple
 from repro.sim.eventlist import EventList
 
 
-@dataclass
+@dataclass(slots=True)
 class QueueStats:
     """Counters maintained by every queue in the simulator."""
 
@@ -43,7 +43,7 @@ class QueueStats:
         self.bytes_dropped += size
 
 
-@dataclass
+@dataclass(slots=True)
 class FlowRecord:
     """Lifetime record of a single transfer, filled in by protocol endpoints."""
 

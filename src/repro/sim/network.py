@@ -53,8 +53,12 @@ class NetworkEndpoint(PacketSink):
 
     Endpoints live on hosts; they originate packets by placing them on a
     route whose first element is the host's NIC queue and whose last element
-    is the peer endpoint.
+    is the peer endpoint.  Slot descriptors are declared for the fixed
+    attributes (subclasses may still add ad-hoc ones — the abstract base
+    carries no slots, so instances keep a ``__dict__``).
     """
+
+    __slots__ = ("eventlist", "node_id", "name")
 
     def __init__(self, eventlist: EventList, node_id: int, name: str) -> None:
         self.eventlist = eventlist
@@ -67,9 +71,12 @@ class NetworkEndpoint(PacketSink):
 
     def inject(self, packet: Packet, route: Route) -> None:
         """Stamp *packet* with *route* and the current time, then forward it."""
-        packet.set_route(route)
-        packet.send_time = self.now()
-        packet.send_to_next_hop()
+        # set_route + first hop, flattened (one call per originated packet)
+        packet.route = route
+        packet.path_id = route.path_id
+        packet.hop = 1
+        packet.send_time = self.eventlist._now
+        route.elements[0].receive_packet(packet)
 
     @abc.abstractmethod
     def receive_packet(self, packet: Packet) -> None:

@@ -155,14 +155,17 @@ class Packet:
 
     def send_to_next_hop(self) -> None:
         """Deliver the packet to the next element on its route."""
-        if self.route is None:
+        route = self.route
+        if route is None:
             raise RuntimeError("packet has no route")
-        if self.hop >= len(self.route):
+        hop = self.hop
+        try:
+            sink = route.elements[hop]  # direct tuple access: once per hop
+        except IndexError:
             raise RuntimeError(
                 f"packet {self!r} ran off the end of its route (hop {self.hop})"
-            )
-        sink = self.route[self.hop]
-        self.hop += 1
+            ) from None
+        self.hop = hop + 1
         sink.receive_packet(self)
 
     def remaining_hops(self) -> int:

@@ -9,13 +9,18 @@ pipe at once.
 
 from __future__ import annotations
 
-from repro.sim.eventlist import EventList
+from bisect import insort as _insort
+from heapq import heappush as _heappush
+
+from repro.sim.eventlist import _WHEEL_MASK, _WHEEL_SHIFT, _WHEEL_SLOTS, EventList
 from repro.sim.network import PacketSink
 from repro.sim.packet import Packet
 
 
 class Pipe(PacketSink):
     """A link with fixed one-way propagation delay."""
+
+    __slots__ = ("eventlist", "delay_ps", "name", "packets_carried", "bytes_carried")
 
     def __init__(self, eventlist: EventList, delay_ps: int, name: str = "pipe") -> None:
         if delay_ps < 0:
@@ -30,7 +35,28 @@ class Pipe(PacketSink):
         """Deliver *packet* to its next hop after the propagation delay."""
         self.packets_carried += 1
         self.bytes_carried += packet.size
-        self.eventlist.schedule_in(self.delay_ps, packet.send_to_next_hop)
+        # Raw scheduler entry, inlined (the EventList._insert fast path): a
+        # delivery is never cancelled and delay_ps >= 0, so neither the guard
+        # nor an Event handle — nor even the call frame — is worth paying on
+        # the busiest per-packet path in the simulator.  The hop pointer is
+        # advanced now (the route cannot change in flight), so the delivery
+        # event calls the downstream element directly.
+        hop = packet.hop
+        sink = packet.route.elements[hop]
+        packet.hop = hop + 1
+        eventlist = self.eventlist
+        when = eventlist._now + self.delay_ps
+        seq = eventlist._sequence = eventlist._sequence + 1
+        entry = (when, seq, None, 0, sink.receive_packet, (packet,))
+        delta = (when >> _WHEEL_SHIFT) - eventlist._cursor
+        if delta <= 0:
+            _insort(eventlist._cur_spill, entry)
+            eventlist._wheel_count += 1
+        elif delta < _WHEEL_SLOTS:
+            eventlist._wheel[(when >> _WHEEL_SHIFT) & _WHEEL_MASK].append(entry)
+            eventlist._wheel_count += 1
+        else:
+            _heappush(eventlist._far, entry)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Pipe({self.name}, {self.delay_ps} ps)"

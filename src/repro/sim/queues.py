@@ -20,13 +20,20 @@ from __future__ import annotations
 import random
 import zlib
 from collections import deque
-from typing import Deque, Iterable, List, Optional
+from bisect import insort as _insort
+from heapq import heappush as _heappush
+from typing import Deque, Dict, Iterable, List, Optional
 
-from repro.sim.eventlist import EventList
+from repro.sim.eventlist import _WHEEL_MASK, _WHEEL_SHIFT, _WHEEL_SLOTS, EventList
 from repro.sim.logger import QueueStats
 from repro.sim.network import PacketSink
 from repro.sim.packet import Packet
-from repro.sim.units import serialization_time_ps
+from repro.sim.pipe import Pipe
+from repro.sim.units import SECOND, serialization_time_ps
+
+#: picoseconds carried by one byte-worth of bits (numerator of the exact
+#: serialization-time formula, hoisted out of the per-packet fast path)
+_BITS_PS = 8 * SECOND
 
 #: fraction of the buffer at which a PFC queue asks its upstream ports to pause
 PAUSE_THRESHOLD_FRACTION = 0.75
@@ -42,7 +49,32 @@ class BaseQueue(PacketSink):
     handles the store-and-forward service loop: one packet is serialized at a
     time, taking ``size * 8 / rate`` seconds, after which it is forwarded to
     the next element on its route.
+
+    ``__slots__`` are declared for the hot attributes (slot descriptors beat
+    instance-dict lookups in the per-packet service loop); subclasses outside
+    this module may still add ad-hoc attributes because the abstract base
+    carries no slots.
     """
+
+    __slots__ = (
+        "eventlist",
+        "service_rate_bps",
+        "max_queue_bytes",
+        "name",
+        "serialization_jitter_ps",
+        "_jitter_rng",
+        "stats",
+        "queue_bytes",
+        "_busy",
+        "_paused",
+        "_in_service",
+        "_fifo",
+        "_rate_half",
+        "_ser_cache",
+        "_complete_cb",
+        "_has_departed_hook",
+        "_plain_fifo",
+    )
 
     def __init__(
         self,
@@ -80,6 +112,16 @@ class BaseQueue(PacketSink):
         self._paused = False
         self._in_service: Optional[Packet] = None
         self._fifo: Deque[Packet] = deque()
+        # hot-path constants: the service loop runs once per packet, so the
+        # rounding half, a size -> serialization-time memo and the completion
+        # callback are all hoisted out of it
+        self._rate_half = service_rate_bps // 2
+        self._ser_cache: Dict[int, int] = {}
+        self._complete_cb = self._complete_service
+        self._has_departed_hook = (
+            type(self)._packet_departed is not BaseQueue._packet_departed
+        )
+        self._plain_fifo = type(self)._select_next is BaseQueue._select_next
 
     # --- introspection -------------------------------------------------------
 
@@ -111,11 +153,13 @@ class BaseQueue(PacketSink):
 
     def _enqueue(self, packet: Packet) -> None:
         self._fifo.append(packet)
-        self.queue_bytes += packet.size
-        self.stats.packets_enqueued += 1
-        if self.queue_bytes > self.stats.max_queue_bytes:
-            self.stats.max_queue_bytes = self.queue_bytes
-        self._maybe_start_service()
+        queue_bytes = self.queue_bytes = self.queue_bytes + packet.size
+        stats = self.stats
+        stats.packets_enqueued += 1
+        if queue_bytes > stats.max_queue_bytes:
+            stats.max_queue_bytes = queue_bytes
+        if not self._busy and not self._paused:
+            self._maybe_start_service()
 
     def _select_next(self) -> Optional[Packet]:
         """Pick the next packet to serialize; FIFO by default."""
@@ -128,24 +172,118 @@ class BaseQueue(PacketSink):
     def _maybe_start_service(self) -> None:
         if self._busy or self._paused:
             return
-        packet = self._select_next()
-        if packet is None:
-            return
+        if self._plain_fifo:
+            # inlined FIFO _select_next (the overwhelmingly common policy)
+            fifo = self._fifo
+            if not fifo:
+                return
+            packet = fifo.popleft()
+            self.queue_bytes -= packet.size
+        else:
+            packet = self._select_next()
+            if packet is None:
+                return
+        # body of _start_service, duplicated here to save a call frame on
+        # the once-per-packet path (keep the two in sync)
         self._busy = True
         self._in_service = packet
-        delay = self.serialization_time(packet.size)
+        size = packet.size
+        try:
+            delay = self._ser_cache[size]
+        except KeyError:
+            delay = self._ser_cache[size] = (
+                size * _BITS_PS + self._rate_half
+            ) // self.service_rate_bps
         if self.serialization_jitter_ps:
             delay += self._jitter_rng.randint(0, self.serialization_jitter_ps)
-        self.eventlist.schedule_in(delay, self._complete_service)
+        eventlist = self.eventlist
+        when = eventlist._now + delay
+        seq = eventlist._sequence = eventlist._sequence + 1
+        entry = (when, seq, None, 0, self._complete_cb, ())
+        delta = (when >> _WHEEL_SHIFT) - eventlist._cursor
+        if delta <= 0:
+            _insort(eventlist._cur_spill, entry)
+            eventlist._wheel_count += 1
+        elif delta < _WHEEL_SLOTS:
+            eventlist._wheel[(when >> _WHEEL_SHIFT) & _WHEEL_MASK].append(entry)
+            eventlist._wheel_count += 1
+        else:
+            _heappush(eventlist._far, entry)
+
+    def _start_service(self, packet: Packet) -> None:
+        """Begin serializing *packet* (caller has checked busy/paused)."""
+        self._busy = True
+        self._in_service = packet
+        # exact serialization time, memoized per packet size (a port sees a
+        # handful of distinct sizes: MTU, trimmed header, tail remainder)
+        size = packet.size
+        try:
+            delay = self._ser_cache[size]
+        except KeyError:
+            delay = self._ser_cache[size] = (
+                size * _BITS_PS + self._rate_half
+            ) // self.service_rate_bps
+        if self.serialization_jitter_ps:
+            delay += self._jitter_rng.randint(0, self.serialization_jitter_ps)
+        # inlined EventList._insert fast path (raw, non-cancellable entry)
+        eventlist = self.eventlist
+        when = eventlist._now + delay
+        seq = eventlist._sequence = eventlist._sequence + 1
+        entry = (when, seq, None, 0, self._complete_cb, ())
+        delta = (when >> _WHEEL_SHIFT) - eventlist._cursor
+        if delta <= 0:
+            _insort(eventlist._cur_spill, entry)
+            eventlist._wheel_count += 1
+        elif delta < _WHEEL_SLOTS:
+            eventlist._wheel[(when >> _WHEEL_SHIFT) & _WHEEL_MASK].append(entry)
+            eventlist._wheel_count += 1
+        else:
+            _heappush(eventlist._far, entry)
 
     def _complete_service(self) -> None:
         packet = self._in_service
         self._in_service = None
         self._busy = False
         if packet is not None:
-            self.stats.record_forward(packet.size, packet.is_header_only)
-            self._packet_departed(packet)
-            packet.send_to_next_hop()
+            stats = self.stats
+            size = packet.size
+            stats.packets_forwarded += 1
+            stats.bytes_forwarded += size
+            if not packet.is_header_only:
+                stats.data_bytes_forwarded += size
+            if self._has_departed_hook:
+                self._packet_departed(packet)
+            # inlined send_to_next_hop (once per serialized packet); when the
+            # next element is a Pipe — as it is for every fabric link — the
+            # pipe hop is fused in as well: count it and schedule the
+            # delayed delivery at the element after the pipe directly,
+            # exactly as Pipe.receive_packet would
+            hop = packet.hop
+            elements = packet.route.elements
+            nxt = elements[hop]
+            if type(nxt) is Pipe:
+                nxt.packets_carried += 1
+                nxt.bytes_carried += size
+                packet.hop = hop + 2
+                eventlist = self.eventlist
+                when = eventlist._now + nxt.delay_ps
+                seq = eventlist._sequence = eventlist._sequence + 1
+                entry = (when, seq, None, 0, elements[hop + 1].receive_packet, (packet,))
+                delta = (when >> _WHEEL_SHIFT) - eventlist._cursor
+                if delta <= 0:
+                    _insort(eventlist._cur_spill, entry)
+                    eventlist._wheel_count += 1
+                elif delta < _WHEEL_SLOTS:
+                    eventlist._wheel[(when >> _WHEEL_SHIFT) & _WHEEL_MASK].append(entry)
+                    eventlist._wheel_count += 1
+                else:
+                    _heappush(eventlist._far, entry)
+            else:
+                packet.hop = hop + 1
+                nxt.receive_packet(packet)
+        # tail-call the service starter; the re-check of _busy/_paused inside
+        # it is not redundant — forwarding above can re-enter this queue (it
+        # may start service for a newly enqueued packet) or pause it via PFC
         self._maybe_start_service()
 
     def _packet_departed(self, packet: Packet) -> None:
@@ -172,10 +310,23 @@ class BaseQueue(PacketSink):
 class DropTailQueue(BaseQueue):
     """A FIFO queue that drops arriving packets once the buffer is full."""
 
+    __slots__ = ()
+
     def receive_packet(self, packet: Packet) -> None:
-        if self.queue_bytes + packet.size > self.max_queue_bytes:
-            self.stats.record_drop(packet.size)
+        size = packet.size
+        if self.queue_bytes + size > self.max_queue_bytes:
+            self.stats.record_drop(size)
             self._notify_drop(packet)
+            return
+        if not self._busy and not self._fifo and not self._paused:
+            # idle port: serve immediately, skipping the FIFO round-trip.
+            # Bookkeeping matches _enqueue + _select_next exactly (including
+            # the transient max_queue_bytes spike the FIFO pass would record).
+            stats = self.stats
+            stats.packets_enqueued += 1
+            if size > stats.max_queue_bytes:
+                stats.max_queue_bytes = size
+            self._start_service(packet)
             return
         self._enqueue(packet)
 
@@ -190,6 +341,8 @@ class ECNQueue(DropTailQueue):
     occupancy above ``K`` causes the CE codepoint to be set.  Packets from
     non-ECN flows are unaffected.
     """
+
+    __slots__ = ("marking_threshold_bytes",)
 
     def __init__(
         self,
@@ -226,6 +379,15 @@ class LosslessQueue(BaseQueue):
     The queue also supports ECN marking so that DCQCN (ECN-based rate control
     running over a lossless fabric) can be modelled on top of it.
     """
+
+    __slots__ = (
+        "marking_threshold_bytes",
+        "pause_threshold_bytes",
+        "resume_threshold_bytes",
+        "_upstream",
+        "_upstream_paused",
+        "overflow_events",
+    )
 
     def __init__(
         self,

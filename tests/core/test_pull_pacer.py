@@ -64,6 +64,22 @@ class TestPacing:
         with pytest.raises(ValueError):
             NdpPullPacer(eventlist, gbps(10), rate_fraction=0.0)
 
+    def test_rate_fraction_interval_rounds_half_up(self, eventlist):
+        # Regression: int() truncation made the pacer run slightly *fast* at
+        # fractional rates.  At Figure 12's operating point (0.95) with a
+        # 1.5 kB MTU the exact interval is 1_200_000 / 0.95 = 1_263_157.89 ps;
+        # round-half-up gives ..158, truncation gave ..157.
+        pacer = NdpPullPacer(eventlist, gbps(10), mtu_bytes=1500, rate_fraction=0.95)
+        assert pacer.pull_interval_ps == 1_263_158
+
+    def test_rate_fraction_095_is_never_faster_than_configured(self, eventlist):
+        # the paced rate must be <= 0.95 of the link rate, i.e. the interval
+        # must be >= the exact (real-valued) spacing
+        for mtu in (1500, 9000):
+            pacer = NdpPullPacer(eventlist, gbps(10), mtu_bytes=mtu, rate_fraction=0.95)
+            exact = serialization_time_ps(mtu, gbps(10)) / 0.95
+            assert pacer.pull_interval_ps >= exact - 0.5
+
 
 class TestFairness:
     def test_round_robin_between_flows(self, eventlist, pacer):

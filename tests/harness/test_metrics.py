@@ -26,9 +26,35 @@ class TestPercentiles:
         with pytest.raises(ValueError):
             metrics.percentile([], 0.5)
 
+    def test_empty_iterator_raises(self):
+        # validation must happen before (not after) sorting/consuming input
+        with pytest.raises(ValueError):
+            metrics.percentile(iter(()), 0.5)
+
     def test_out_of_range_fraction_raises(self):
         with pytest.raises(ValueError):
             metrics.percentile([1], 1.5)
+
+    def test_invalid_fraction_checked_before_emptiness(self):
+        with pytest.raises(ValueError, match="fraction"):
+            metrics.percentile([], 2.0)
+
+    def test_single_element_every_fraction(self):
+        for fraction in (0.0, 0.5, 0.9, 0.99, 1.0):
+            assert metrics.percentile([7], fraction) == 7.0
+
+    def test_exact_index_hits_are_not_interpolated(self):
+        values = [10, 20, 30, 40, 50]
+        # positions 0.25*(n-1)=1, 0.5*(n-1)=2, 0.75*(n-1)=3 are exact indices
+        assert metrics.percentile(values, 0.25) == 20
+        assert metrics.percentile(values, 0.5) == 30
+        assert metrics.percentile(values, 0.75) == 40
+
+    def test_p50_p90_p99_on_known_distribution(self):
+        values = list(range(101))  # 0..100, position == fraction * 100
+        assert metrics.percentile(values, 0.5) == 50
+        assert metrics.percentile(values, 0.9) == 90
+        assert metrics.percentile(values, 0.99) == 99
 
     @given(st.lists(st.floats(min_value=-1e9, max_value=1e9), min_size=1, max_size=100))
     def test_percentile_bounded_by_min_max(self, values):

@@ -1,0 +1,251 @@
+"""Tests for the hybrid-scheduler additions: Timer, raw entries, eviction.
+
+The classic ``EventList`` semantics (ordering, ties, run control) are covered
+by ``test_eventlist.py``; this module exercises the APIs added by the
+fast-path rework and the invariants the rework must preserve.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.eventlist import (
+    _WHEEL_SHIFT,
+    _WHEEL_SLOTS,
+    EventList,
+    Timer,
+)
+
+#: one wheel slot / beyond-the-horizon delays, derived so the tests keep
+#: working if the tuning constants change
+SLOT = 1 << _WHEEL_SHIFT
+HORIZON = SLOT * _WHEEL_SLOTS
+
+
+class TestTimer:
+    def test_timer_fires_at_scheduled_time(self, eventlist):
+        fired = []
+        timer = eventlist.new_timer(lambda: fired.append(eventlist.now()))
+        timer.schedule_at(1000)
+        eventlist.run()
+        assert fired == [1000]
+        assert not timer.armed
+
+    def test_timer_args_passed(self, eventlist):
+        fired = []
+        timer = eventlist.new_timer(fired.append, "payload")
+        timer.schedule_in(5)
+        eventlist.run()
+        assert fired == ["payload"]
+
+    def test_cancel_prevents_fire(self, eventlist):
+        fired = []
+        timer = eventlist.new_timer(fired.append, 1)
+        timer.schedule_at(10)
+        timer.cancel()
+        eventlist.run()
+        assert fired == []
+        assert not timer.armed
+
+    def test_reschedule_supersedes_previous_arm(self, eventlist):
+        fired = []
+        timer = eventlist.new_timer(lambda: fired.append(eventlist.now()))
+        timer.schedule_at(10)
+        timer.schedule_at(30)  # supersedes; must NOT fire at 10
+        eventlist.run()
+        assert fired == [30]
+
+    def test_reschedule_earlier_works(self, eventlist):
+        fired = []
+        timer = eventlist.new_timer(lambda: fired.append(eventlist.now()))
+        timer.schedule_at(100)
+        timer.schedule_at(20)
+        eventlist.run()
+        assert fired == [20]
+
+    def test_timer_is_reusable_after_firing(self, eventlist):
+        fired = []
+        timer = eventlist.new_timer(lambda: fired.append(eventlist.now()))
+        timer.schedule_at(10)
+        eventlist.run()
+        timer.schedule_at(50)
+        eventlist.run()
+        assert fired == [10, 50]
+
+    def test_scheduling_in_past_raises(self, eventlist):
+        eventlist.schedule(100, lambda: None)
+        eventlist.run()
+        timer = eventlist.new_timer(lambda: None)
+        with pytest.raises(ValueError):
+            timer.schedule_at(50)
+
+    def test_cancel_when_idle_is_noop(self, eventlist):
+        timer = eventlist.new_timer(lambda: None)
+        timer.cancel()  # never armed
+        assert not timer.armed
+
+
+class TestRawEntries:
+    def test_schedule_raw_runs_in_order_with_events(self, eventlist):
+        order = []
+        eventlist.schedule(20, order.append, "event")
+        eventlist.schedule_raw(10, order.append, ("raw-early",))
+        eventlist.schedule_raw_in(30, order.append, ("raw-late",))
+        eventlist.run()
+        assert order == ["raw-early", "event", "raw-late"]
+
+    def test_raw_past_raises(self, eventlist):
+        eventlist.schedule(10, lambda: None)
+        eventlist.run()
+        with pytest.raises(ValueError):
+            eventlist.schedule_raw(5, lambda: None)
+
+    def test_ties_between_raw_and_events_break_by_insertion(self, eventlist):
+        order = []
+        eventlist.schedule(5, order.append, 1)
+        eventlist.schedule_raw(5, order.append, (2,))
+        eventlist.schedule(5, order.append, 3)
+        eventlist.run()
+        assert order == [1, 2, 3]
+
+
+class TestTiers:
+    def test_far_future_events_cross_the_horizon_correctly(self):
+        eventlist = EventList()
+        order = []
+        eventlist.schedule(2 * HORIZON, order.append, "far")
+        eventlist.schedule(SLOT // 2, order.append, "near")
+        eventlist.schedule(2 * HORIZON + 1, order.append, "far+1")
+        eventlist.run()
+        assert order == ["near", "far", "far+1"]
+        assert eventlist.pending_events() == 0
+
+    def test_same_slot_inserts_during_drain_keep_order(self, eventlist):
+        order = []
+
+        def chain(n):
+            order.append(n)
+            if n < 20:
+                # shorter than one slot: lands in the slot being drained
+                eventlist.schedule_in(SLOT // 64, chain, n + 1)
+
+        eventlist.schedule(0, chain, 0)
+        eventlist.run()
+        assert order == list(range(21))
+
+    def test_run_until_mid_slot_then_resume(self, eventlist):
+        order = []
+        for t in (100, 200, 300, 400):
+            eventlist.schedule(t, order.append, t)
+        eventlist.run(until=250)
+        assert order == [100, 200]
+        assert eventlist.pending_events() == 2
+        eventlist.run()
+        assert order == [100, 200, 300, 400]
+
+    def test_interleaved_timescales(self):
+        # mix of sub-slot, multi-slot and beyond-horizon delays
+        eventlist = EventList()
+        seen = []
+        times = [1, SLOT - 1, SLOT + 1, 7 * SLOT, HORIZON - 1, HORIZON + 5, 3 * HORIZON]
+        for t in reversed(times):
+            eventlist.schedule(t, seen.append, t)
+        eventlist.run()
+        assert seen == sorted(times)
+
+
+class TestInlinedInsertParity:
+    """The per-packet producers (queues, switch, pipe, Timer) inline the
+    EventList._insert tier routing; this exercises the same boundary deltas
+    through those producers and checks ordering/accounting parity."""
+
+    def test_boundary_deltas_execute_in_order(self, eventlist):
+        order = []
+        # deltas around every tier edge: current slot, first future slot,
+        # last wheel slot, first far-heap slot, and deep far heap
+        deltas = [0, 1, SLOT - 1, SLOT, HORIZON - SLOT, HORIZON - 1, HORIZON, HORIZON + 1]
+        for delta in sorted(deltas, reverse=True):
+            eventlist.schedule_raw(delta, order.append, (delta,))
+        pending = eventlist.pending_events()
+        assert pending == len(deltas)
+        eventlist.run()
+        assert order == sorted(deltas)
+        assert eventlist.pending_events() == 0
+
+    def test_queue_and_pipe_produce_identical_ordering_to_insert(self, eventlist):
+        # drive a packet through queue -> pipe -> sink while raw control
+        # entries straddle the same timestamps; merged order must be global
+        from repro.sim.network import CountingSink
+        from repro.sim.packet import Packet, Route
+        from repro.sim.pipe import Pipe
+        from repro.sim.queues import DropTailQueue
+
+        queue = DropTailQueue(eventlist, 10_000_000_000, 1_000_000)
+        pipe = Pipe(eventlist, SLOT + 3)  # delivery crosses a slot edge
+        sink = CountingSink()
+        order = []
+        packet = Packet(flow_id=0, src=0, dst=1, size=9000)
+        packet.set_route(Route([queue, pipe, sink]))
+        ser = queue.serialization_time(9000)
+        # markers directly before/after the serialization and delivery times
+        for t in (ser - 1, ser + 1, ser + SLOT + 2, ser + SLOT + 4):
+            eventlist.schedule_raw(t, order.append, (t,))
+        packet.send_to_next_hop()
+        eventlist.run()
+        assert sink.packets_received == 1
+        assert order == [ser - 1, ser + 1, ser + SLOT + 2, ser + SLOT + 4]
+        # delivery happened between the 2nd and 3rd marker
+        assert eventlist.now() == ser + SLOT + 4
+
+
+class TestEagerEviction:
+    def test_mass_cancellation_is_evicted_before_surfacing(self, eventlist):
+        # arm many timers far enough out that they linger, then cancel all:
+        # the scheduler must shrink the pending queue without executing them
+        timers = [eventlist.new_timer(lambda: None) for _ in range(500)]
+        for i, timer in enumerate(timers):
+            timer.schedule_at(10 * SLOT + i)
+        assert eventlist.pending_events() == 500
+        for timer in timers:
+            timer.cancel()
+        # eager eviction triggers during cancellation once stale entries
+        # dominate; no run() needed
+        assert eventlist.pending_events() < 500
+        fired_before = eventlist.events_executed
+        eventlist.run()
+        assert eventlist.events_executed == fired_before
+        assert eventlist.pending_events() == 0
+
+    def test_cancelled_event_evicted_eventually(self, eventlist):
+        events = [eventlist.schedule(5 * SLOT, lambda: None) for _ in range(200)]
+        for event in events:
+            event.cancel()
+        keeper = eventlist.schedule(6 * SLOT, lambda: None)
+        eventlist.run()
+        assert eventlist.now() == 6 * SLOT
+        assert keeper.cancelled is False
+
+
+class TestPendingAccounting:
+    def test_pending_events_counts_live_entries(self, eventlist):
+        eventlist.schedule(10, lambda: None)
+        eventlist.schedule_raw(20, lambda: None)
+        timer = eventlist.new_timer(lambda: None)
+        timer.schedule_at(30)
+        assert eventlist.pending_events() == 3
+        eventlist.run()
+        assert eventlist.pending_events() == 0
+
+    def test_events_executed_excludes_cancelled(self, eventlist):
+        event = eventlist.schedule(10, lambda: None)
+        eventlist.schedule(20, lambda: None)
+        event.cancel()
+        eventlist.run()
+        assert eventlist.events_executed == 1
+
+    def test_run_until_alias(self, eventlist):
+        seen = []
+        eventlist.schedule(10, seen.append, "a")
+        eventlist.schedule(100, seen.append, "b")
+        assert eventlist.run_until(50) == 50
+        assert seen == ["a"]
