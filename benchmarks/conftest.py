@@ -7,6 +7,13 @@ pytest-benchmark), prints the regenerated rows, stores headline numbers in
 (who wins, by roughly what factor) so regressions in the protocol
 implementations are caught.
 
+Simulation results are shared across the whole pytest session through the
+session-scoped :func:`sim_cache` fixture: the first request for a given
+``(generator, args)`` signature runs the experiment under benchmark timing,
+and any later request — another test asking for the same figure, a repeated
+call inside one module — reuses the stored result instead of re-running the
+whole simulation.
+
 Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
 """
 
@@ -14,7 +21,9 @@ from __future__ import annotations
 
 import os
 import sys
-from typing import Iterable, Mapping, Sequence
+from typing import Any, Callable, Dict, Iterable, Mapping, Sequence, Tuple
+
+import pytest
 
 # make `src/` importable when the package is not installed
 _SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
@@ -22,9 +31,69 @@ if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
 
+class SimResultCache:
+    """Session-wide memo of figure/experiment results keyed by call signature.
+
+    Figure generators are deterministic (seeded), so a result computed once
+    is valid for the rest of the session.  Keys combine the callable's
+    qualified name with the ``repr`` of its arguments; values are returned
+    by reference — benchmark assertions only read them.
+    """
+
+    def __init__(self) -> None:
+        self._results: Dict[Tuple[str, str, str], Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _key(function: Callable, args: tuple, kwargs: dict) -> Tuple[str, str, str]:
+        name = getattr(function, "__qualname__", repr(function))
+        module = getattr(function, "__module__", "")
+        return (f"{module}.{name}", repr(args), repr(sorted(kwargs.items())))
+
+    def fetch(self, function: Callable, *args, **kwargs):
+        """Return the cached result, running *function* on the first request."""
+        key = self._key(function, args, kwargs)
+        try:
+            result = self._results[key]
+        except KeyError:
+            self.misses += 1
+            result = self._results[key] = function(*args, **kwargs)
+            return result
+        self.hits += 1
+        return result
+
+    def __contains__(self, item: Tuple[Callable, tuple, dict]) -> bool:
+        function, args, kwargs = item
+        return self._key(function, args, kwargs) in self._results
+
+
+_SESSION_CACHE = SimResultCache()
+
+
+@pytest.fixture(scope="session")
+def sim_cache() -> SimResultCache:
+    """The per-session simulation-result cache (ROADMAP: stop re-running
+    whole experiments for every figure)."""
+    return _SESSION_CACHE
+
+
 def run_once(benchmark, function, *args, **kwargs):
     """Execute *function* exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def run_cached(benchmark, cache: SimResultCache, function, *args, **kwargs):
+    """Like :func:`run_once`, but consulting the session cache first.
+
+    A cache hit is recorded in ``benchmark.extra_info`` (the timing then
+    reflects the lookup, not the simulation) so result tables stay honest.
+    """
+    hit = (function, args, kwargs) in cache
+    benchmark.extra_info["sim_cache"] = "hit" if hit else "miss"
+    return benchmark.pedantic(
+        cache.fetch, args=(function, *args), kwargs=kwargs, rounds=1, iterations=1
+    )
 
 
 def print_table(title: str, rows: Sequence[Mapping[str, object]]) -> None:

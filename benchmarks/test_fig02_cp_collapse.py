@@ -1,13 +1,14 @@
 """Figure 2 — CP congestion collapse and phase effects vs the NDP switch."""
 
-from benchmarks.conftest import print_table, run_once
+from benchmarks.conftest import print_table, run_cached
 from repro.harness import figures
 from repro.sim import units
 
 
-def test_figure2_cp_collapse(benchmark):
-    rows = run_once(
+def test_figure2_cp_collapse(benchmark, sim_cache):
+    rows = run_cached(
         benchmark,
+        sim_cache,
         figures.figure2_switch_overload,
         flow_counts=(4, 16, 64),
         duration_ps=units.milliseconds(10),

@@ -1,13 +1,14 @@
 """Figure 4 — delivery latency under permutation / random / incast matrices."""
 
-from benchmarks.conftest import print_table, run_once
+from benchmarks.conftest import print_table, run_cached
 from repro.harness import figures, metrics
 from repro.sim import units
 
 
-def test_figure4_latency_cdf(benchmark):
-    samples = run_once(
+def test_figure4_latency_cdf(benchmark, sim_cache):
+    samples = run_cached(
         benchmark,
+        sim_cache,
         figures.figure4_latency_cdf,
         k=4,
         duration_ps=units.milliseconds(6),

@@ -1,11 +1,11 @@
 """Figure 8 — 1 KB RPC latency over NDP, TCP Fast Open and TCP."""
 
-from benchmarks.conftest import print_table, run_once
+from benchmarks.conftest import print_table, run_cached
 from repro.harness import figures
 
 
-def test_figure8_rpc_latency(benchmark):
-    summary = run_once(benchmark, figures.figure8_rpc_latency, samples=1000)
+def test_figure8_rpc_latency(benchmark, sim_cache):
+    summary = run_cached(benchmark, sim_cache, figures.figure8_rpc_latency, samples=1000)
     rows = [{"stack": name, **stats} for name, stats in summary.items()]
     print_table("Figure 8: 1 KB RPC latency (microseconds)", rows)
 

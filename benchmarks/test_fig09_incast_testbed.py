@@ -1,12 +1,13 @@
 """Figure 9 — 7-to-1 incast on the 8-server testbed topology, NDP vs TCP."""
 
-from benchmarks.conftest import print_table, run_once
+from benchmarks.conftest import print_table, run_cached
 from repro.harness import figures
 
 
-def test_figure9_testbed_incast(benchmark):
-    rows = run_once(
+def test_figure9_testbed_incast(benchmark, sim_cache):
+    rows = run_cached(
         benchmark,
+        sim_cache,
         figures.figure9_testbed_incast,
         response_sizes=(10_000, 50_000, 100_000, 250_000, 500_000, 1_000_000),
     )

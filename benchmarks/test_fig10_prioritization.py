@@ -1,11 +1,11 @@
 """Figure 10 — prioritizing a short flow over six long flows to the same host."""
 
-from benchmarks.conftest import print_mapping, run_once
+from benchmarks.conftest import print_mapping, run_cached
 from repro.harness import figures
 
 
-def test_figure10_prioritization(benchmark):
-    result = run_once(benchmark, figures.figure10_prioritization)
+def test_figure10_prioritization(benchmark, sim_cache):
+    result = run_cached(benchmark, sim_cache, figures.figure10_prioritization)
     print_mapping("Figure 10: 200 KB flow completion time (microseconds)", result)
 
     benchmark.extra_info.update(result)

@@ -1,6 +1,6 @@
 """Figure 11 — throughput as a function of the initial window (host model)."""
 
-from benchmarks.conftest import print_table, run_once
+from benchmarks.conftest import print_table, run_cached
 from repro.harness import figures
 
 
@@ -19,8 +19,8 @@ def _both(windows):
     return rows
 
 
-def test_figure11_initial_window(benchmark):
-    rows = run_once(benchmark, _both, windows=(1, 2, 4, 8, 16, 32, 64))
+def test_figure11_initial_window(benchmark, sim_cache):
+    rows = run_cached(benchmark, sim_cache, _both, windows=(1, 2, 4, 8, 16, 32, 64))
     print_table("Figure 11: back-to-back throughput vs initial window", rows)
 
     benchmark.extra_info["iw1_gbps"] = rows[0]["perfect_gbps"]

@@ -1,11 +1,11 @@
 """Figure 12 — PULL spacing distribution for 1500 B and 9000 B packets."""
 
-from benchmarks.conftest import print_table, run_once
+from benchmarks.conftest import print_table, run_cached
 from repro.harness import figures
 
 
-def test_figure12_pull_spacing(benchmark):
-    result = run_once(benchmark, figures.figure12_pull_spacing, samples=20_000)
+def test_figure12_pull_spacing(benchmark, sim_cache):
+    result = run_cached(benchmark, sim_cache, figures.figure12_pull_spacing, samples=20_000)
     rows = [{"packet_bytes": size, **stats} for size, stats in result.items()]
     print_table("Figure 12: pull spacing (microseconds)", rows)
 

@@ -1,12 +1,13 @@
 """Figure 13 — incast FCT with perfect versus measured pull spacing."""
 
-from benchmarks.conftest import print_table, run_once
+from benchmarks.conftest import print_table, run_cached
 from repro.harness import figures
 
 
-def test_figure13_pull_jitter_incast(benchmark):
-    rows = run_once(
+def test_figure13_pull_jitter_incast(benchmark, sim_cache):
+    rows = run_cached(
         benchmark,
+        sim_cache,
         figures.figure13_incast_pull_jitter,
         flow_sizes=(15_000, 30_000, 60_000, 90_000, 120_000),
         senders=24,

@@ -1,13 +1,14 @@
 """Figure 14 — per-flow throughput on a permutation matrix, all protocols."""
 
-from benchmarks.conftest import print_table, run_once
+from benchmarks.conftest import print_table, run_cached
 from repro.harness import figures
 from repro.sim import units
 
 
-def test_figure14_permutation_throughput(benchmark):
-    results = run_once(
+def test_figure14_permutation_throughput(benchmark, sim_cache):
+    results = run_cached(
         benchmark,
+        sim_cache,
         figures.figure14_permutation_throughput,
         k=4,
         duration_ps=units.milliseconds(2),

@@ -1,12 +1,13 @@
 """Figure 15 — FCT of 90 KB flows with long-running background traffic."""
 
-from benchmarks.conftest import print_table, run_once
+from benchmarks.conftest import print_table, run_cached
 from repro.harness import figures, metrics
 
 
-def test_figure15_short_flow_fct(benchmark):
-    results = run_once(
+def test_figure15_short_flow_fct(benchmark, sim_cache):
+    results = run_cached(
         benchmark,
+        sim_cache,
         figures.figure15_short_flow_fct,
         short_flows=8,
         background_bytes=20_000_000,

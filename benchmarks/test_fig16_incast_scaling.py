@@ -1,12 +1,13 @@
 """Figure 16 — incast completion time versus the number of senders."""
 
-from benchmarks.conftest import print_table, run_once
+from benchmarks.conftest import print_table, run_cached
 from repro.harness import figures
 
 
-def test_figure16_incast_scaling(benchmark):
-    rows = run_once(
+def test_figure16_incast_scaling(benchmark, sim_cache):
+    rows = run_cached(
         benchmark,
+        sim_cache,
         figures.figure16_incast_scaling,
         sender_counts=(4, 8, 16, 32),
         protocols=("NDP", "DCTCP", "DCQCN", "MPTCP"),

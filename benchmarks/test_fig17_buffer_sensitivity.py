@@ -1,12 +1,13 @@
 """Figure 17 — sensitivity of permutation throughput to IW and buffer size."""
 
-from benchmarks.conftest import print_table, run_once
+from benchmarks.conftest import print_table, run_cached
 from repro.harness import figures
 
 
-def test_figure17_buffer_sensitivity(benchmark):
-    rows = run_once(
+def test_figure17_buffer_sensitivity(benchmark, sim_cache):
+    rows = run_cached(
         benchmark,
+        sim_cache,
         figures.figure17_buffer_sensitivity,
         windows=(5, 10, 15, 20, 30),
         configurations=(

@@ -1,6 +1,6 @@
 """Figure 19 — collateral damage of an incast on a long flow to a neighbour."""
 
-from benchmarks.conftest import print_table, run_once
+from benchmarks.conftest import print_table, run_cached
 from repro.harness import figures
 from repro.sim import units
 
@@ -15,9 +15,10 @@ def _mean_rate(series, start, end):
     return sum(values) / len(values) if values else 0.0
 
 
-def test_figure19_collateral_damage(benchmark):
-    results = run_once(
+def test_figure19_collateral_damage(benchmark, sim_cache):
+    results = run_cached(
         benchmark,
+        sim_cache,
         figures.figure19_collateral_damage,
         protocols=("NDP", "DCTCP", "DCQCN"),
         incast_senders=14,

@@ -1,12 +1,13 @@
 """Figure 20 — very large incasts: overhead and retransmission mechanisms."""
 
-from benchmarks.conftest import print_table, run_once
+from benchmarks.conftest import print_table, run_cached
 from repro.harness import figures
 
 
-def test_figure20_large_incast(benchmark):
-    rows = run_once(
+def test_figure20_large_incast(benchmark, sim_cache):
+    rows = run_cached(
         benchmark,
+        sim_cache,
         figures.figure20_large_incast,
         sender_counts=(2, 8, 32, 128, 256),
         initial_windows=(1, 10, 23),

@@ -1,11 +1,11 @@
 """Figure 21 — sender-limited traffic: A→{B,C,D,E} competing with F→E."""
 
-from benchmarks.conftest import print_mapping, run_once
+from benchmarks.conftest import print_mapping, run_cached
 from repro.harness import figures
 
 
-def test_figure21_sender_limited(benchmark):
-    result = run_once(benchmark, figures.figure21_sender_limited)
+def test_figure21_sender_limited(benchmark, sim_cache):
+    result = run_cached(benchmark, sim_cache, figures.figure21_sender_limited)
     print_mapping("Figure 21: achieved throughput (Gb/s)", result)
 
     benchmark.extra_info["total_from_A"] = result["total_from_A"]

@@ -1,13 +1,14 @@
 """Figure 22 — permutation throughput with a degraded (1 Gb/s) core link."""
 
-from benchmarks.conftest import print_table, run_once
+from benchmarks.conftest import print_table, run_cached
 from repro.harness import figures
 from repro.sim import units
 
 
-def test_figure22_asymmetry(benchmark):
-    results = run_once(
+def test_figure22_asymmetry(benchmark, sim_cache):
+    results = run_cached(
         benchmark,
+        sim_cache,
         figures.figure22_asymmetry,
         k=4,
         degraded_rate_bps=units.gbps(1),

@@ -1,13 +1,14 @@
 """Figure 23 — Facebook-like web workload on a 4:1 oversubscribed FatTree."""
 
-from benchmarks.conftest import print_table, run_once
+from benchmarks.conftest import print_table, run_cached
 from repro.harness import figures
 from repro.sim import units
 
 
-def test_figure23_oversubscribed_web(benchmark):
-    rows = run_once(
+def test_figure23_oversubscribed_web(benchmark, sim_cache):
+    rows = run_cached(
         benchmark,
+        sim_cache,
         figures.figure23_oversubscribed_web,
         k=4,
         oversubscription=4.0,

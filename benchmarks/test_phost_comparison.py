@@ -1,12 +1,13 @@
 """§6.2 "Who needs packet trimming?" — NDP versus pHost."""
 
-from benchmarks.conftest import print_mapping, run_once
+from benchmarks.conftest import print_mapping, run_cached
 from repro.harness import figures
 
 
-def test_phost_comparison(benchmark):
-    result = run_once(
+def test_phost_comparison(benchmark, sim_cache):
+    result = run_cached(
         benchmark,
+        sim_cache,
         figures.phost_comparison,
         incast_senders=24,
         incast_bytes=270_000,

@@ -1,11 +1,11 @@
 """§6.2 "Larger topologies" — permutation utilization as the FatTree grows."""
 
-from benchmarks.conftest import print_table, run_once
+from benchmarks.conftest import print_table, run_cached
 from repro.harness import figures
 
 
-def test_scaling_utilization(benchmark):
-    rows = run_once(benchmark, figures.scaling_utilization, ks=(4, 6, 8))
+def test_scaling_utilization(benchmark, sim_cache):
+    rows = run_cached(benchmark, sim_cache, figures.scaling_utilization, ks=(4, 6, 8))
     print_table("Permutation utilization vs FatTree size (8-packet buffers)", rows)
 
     benchmark.extra_info["util_k4"] = rows[0]["utilization_percent"]

@@ -1,11 +1,11 @@
 """§"Congestion Control" — where packets get trimmed: sender vs switch load balancing."""
 
-from benchmarks.conftest import print_table, run_once
+from benchmarks.conftest import print_table, run_cached
 from repro.harness import figures
 
 
-def test_uplink_trimming(benchmark):
-    results = run_once(benchmark, figures.uplink_trimming_study, k=4)
+def test_uplink_trimming(benchmark, sim_cache):
+    results = run_cached(benchmark, sim_cache, figures.uplink_trimming_study, k=4)
     rows = [
         {"path_selection": mode, **stats} for mode, stats in results.items()
     ]

@@ -51,6 +51,28 @@ class NdpConfig:
         paper argues 1 ms is safe given the 400 us worst-case RTT.
     min_rto_ps:
         Lower bound applied when adaptive RTO estimation is enabled.
+    pull_rto_ps:
+        Receiver-side pull-retry timeout: when a transfer has received
+        nothing for this long while packets are still missing (and no pull
+        requests are queued at the pacer), the receiver re-emits PULLs for
+        the outstanding packets.  This closes the liveness gap where the
+        *final* PULLs of a transfer are lost (e.g. trimmed from an
+        overflowing header queue) after NACKs already cancelled the sender's
+        per-packet RTOs.  Sized like ``rto_ps``: well above the worst-case
+        RTT, so it never fires on a healthy transfer.
+    max_pull_retries:
+        How many consecutive pull-retry rounds (without any progress in
+        between) the receiver attempts before giving up; 0 disables the
+        pull-retry timer entirely.
+    sender_keepalive:
+        Enable the sender's last-resort keepalive: a standing per-transfer
+        timer that sends one packet (a queued retransmission first, else
+        the next unsent one) whenever the pull clock has been silent for a
+        full stall threshold — covering both the NACKed packets whose
+        per-seqno RTOs were cancelled and an unsent tail beyond the initial
+        window that has no RTO at all.  Together with the pull-retry timer
+        this makes transfer completion robust to the loss of any control
+        packet class.
     path_penalty:
         Enable the path scoreboard that temporarily removes outlier paths
         (§3.2.3); the Figure 22 ablation turns it off.
@@ -79,6 +101,9 @@ class NdpConfig:
     return_to_sender: bool = True
     rto_ps: int = units.milliseconds(1)
     min_rto_ps: int = units.microseconds(200)
+    pull_rto_ps: int = units.milliseconds(1)
+    max_pull_retries: int = 8
+    sender_keepalive: bool = True
     path_penalty: bool = True
     path_penalty_min_samples: int = 16
     path_penalty_nack_ratio: float = 2.0
@@ -102,6 +127,10 @@ class NdpConfig:
             raise ValueError("wrr_headers_per_data must be at least 1")
         if not 0.0 < self.pull_rate_fraction <= 1.0:
             raise ValueError("pull_rate_fraction must be in (0, 1]")
+        if self.pull_rto_ps <= 0:
+            raise ValueError("pull_rto_ps must be positive")
+        if self.max_pull_retries < 0:
+            raise ValueError("max_pull_retries must be non-negative")
 
     @property
     def data_queue_bytes(self) -> int:

@@ -16,6 +16,17 @@ Per arriving packet the sink:
 
 When the transfer completes, any remaining pull requests for this connection
 are purged so no useless PULLs are sent.
+
+Liveness: PULLs themselves travel through the fabric's header queues and can
+be lost (dropped from an overflowing header queue).  If the *final* PULLs of
+a transfer are lost, the sender — whose per-packet RTOs were cancelled by the
+NACKs — would wait forever.  Each sink therefore keeps a *pull-retry
+watchdog*: a shadow :class:`~repro.sim.eventlist.Timer` that fires when the
+transfer has been idle for ``pull_rto_ps`` with packets still missing and no
+pull requests queued at the pacer, and re-emits PULLs for the outstanding
+packets (up to ``max_pull_retries`` consecutive rounds without progress).
+Shadow timers never perturb the event order of a healthy run (see
+:mod:`repro.sim.eventlist`).
 """
 
 from __future__ import annotations
@@ -27,7 +38,7 @@ from repro.core.config import NdpConfig
 from repro.core.packets import NdpAck, NdpDataPacket, NdpNack, NdpPull
 from repro.core.path_manager import PathManager
 from repro.core.pull_queue import NdpPullPacer
-from repro.sim.eventlist import EventList
+from repro.sim.eventlist import EventList, Timer
 from repro.sim.logger import FlowRecord
 from repro.sim.network import NetworkEndpoint
 from repro.sim.packet import Packet, Route
@@ -51,6 +62,9 @@ class NdpSink(NetworkEndpoint):
         "_pull_counter",
         "_saw_last",
         "_highest_seqno_seen",
+        "_retry_timer",
+        "_retries",
+        "_activity_ps",
         "acks_sent",
         "nacks_sent",
         "pulls_emitted",
@@ -84,6 +98,9 @@ class NdpSink(NetworkEndpoint):
         self._pull_counter = 0
         self._saw_last = False
         self._highest_seqno_seen = -1
+        self._retry_timer: Optional[Timer] = None
+        self._retries = 0
+        self._activity_ps = -1
         self.acks_sent = 0
         self.nacks_sent = 0
         self.pulls_emitted = 0
@@ -134,6 +151,18 @@ class NdpSink(NetworkEndpoint):
         if not isinstance(packet, NdpDataPacket):
             raise TypeError(f"NdpSink received unexpected packet type {type(packet)!r}")
         record = self.record
+        if self._activity_ps < 0:
+            # First arrival: arm the pull-retry watchdog for the rest of the
+            # transfer.  Not at connect time — a flow scheduled to start
+            # later must not be pulled into transmitting early.  A shadow
+            # timer, so arming (and cancelling at completion) cannot perturb
+            # the event order of a run in which it never fires.
+            if self.config.max_pull_retries > 0 and self._retry_timer is None:
+                timer = self._retry_timer = Timer(
+                    self.eventlist, self._pull_retry_due, shadow=True
+                )
+                timer.schedule_at(self.eventlist._now + self.config.pull_rto_ps)
+        self._activity_ps = self.eventlist._now
         if record.start_time_ps is None:
             record.start_time_ps = self.eventlist._now
         if packet.syn and self.src_node_id < 0:
@@ -243,6 +272,59 @@ class NdpSink(NetworkEndpoint):
             )
         )
 
+    # --- liveness ----------------------------------------------------------------------
+
+    def _pull_retry_due(self) -> None:
+        """Pull-retry watchdog: re-emit PULLs when the transfer stalls.
+
+        A transfer counts as *stalled* when nothing has arrived for a full
+        stall horizon (``pull_rto_ps`` plus the pacer's current backlog
+        drain time) and no pull requests for this connection are queued at
+        the pacer; anything else just pushes the deadline out.  Each stalled
+        round tops the pull queue back up to the number of missing packets
+        (capped at the initial window) so the sender's pull clock restarts;
+        after ``max_pull_retries`` consecutive rounds without progress the
+        watchdog gives up (the sender keepalive remains as the last resort).
+        """
+        timer = self._retry_timer
+        if timer is None or self.complete:
+            return
+        config = self.config
+        now = self.eventlist._now
+        pacer = self.pacer
+        pending = pacer._pending.get(self.flow_id, 0)
+        # A busy receiver serves hundreds of connections round-robin, so the
+        # legitimate gap between two arrivals of one flow is the pacer's
+        # whole backlog drain time — the stall horizon must stretch with it
+        # or the watchdog would re-pull flows that are merely waiting their
+        # turn.  The receiver owns the pacer, so the horizon is exact.
+        horizon_ps = config.pull_rto_ps + pacer._total_pending * pacer.pull_interval_ps
+        idle_ps = now - self._activity_ps if self._activity_ps >= 0 else horizon_ps
+        if pending > 0 or idle_ps < horizon_ps:
+            # The pull clock is alive (queued requests or a recent-enough
+            # arrival): not a stall, just move the deadline out.  Only an
+            # actual arrival resets the give-up counter — our own queued
+            # retries waiting out a pacer backlog are not progress, and
+            # must not let the watchdog exceed its max_pull_retries bound.
+            if idle_ps < horizon_ps:
+                self._retries = 0
+            when = self._activity_ps + horizon_ps
+            if when <= now:
+                when = now + config.pull_rto_ps
+            timer.schedule_at(when)
+            return
+        if self._retries >= config.max_pull_retries:
+            return  # give up; deliberately leave the watchdog disarmed
+        self._retries += 1
+        self.record.pull_retries += 1
+        remaining = self.remaining_packets()
+        need = remaining if remaining is not None and remaining > 0 else 1
+        if need > config.initial_window_packets:
+            need = config.initial_window_packets
+        for _ in range(need):
+            self.pacer.request_pull(self)
+        timer.schedule_at(now + config.pull_rto_ps)
+
     # --- helpers -----------------------------------------------------------------------
 
     def _send_control(self, packet: Packet) -> None:
@@ -258,5 +340,7 @@ class NdpSink(NetworkEndpoint):
         if self.record.finish_time_ps is None:
             self.record.finish_time_ps = self.now()
             self.pacer.purge(self.flow_id)
+            if self._retry_timer is not None:
+                self._retry_timer.cancel()
             if self.on_complete is not None:
                 self.on_complete(self)

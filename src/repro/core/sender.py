@@ -15,7 +15,17 @@ The sender's job is deliberately simple (§3.2 of the paper):
   drops) — with trimming these are rare, so the timer hardly ever fires;
 * honour return-to-sender headers: resend immediately only when no more
   PULLs are expected (or the network looks asymmetric), to avoid echoing the
-  incast.
+  incast;
+* keep a standing last-resort *keepalive* for the whole transfer: a NACK
+  cancels the per-seqno RTO (the pull clock is expected to drain the
+  retransmission queue), and packets beyond the initial window have no RTO
+  at all until first sent — so if the PULLs themselves are lost the pull
+  clock goes silent forever.  When no feedback has arrived for a full stall
+  threshold, the keepalive sends one packet (queued retransmission first,
+  else the next unsent one), restarting both the pull clock and the
+  per-seqno RTO coverage.  The timer is a shadow timer
+  (:mod:`repro.sim.eventlist`), so runs in which it never fires are
+  bit-identical to runs without it.
 """
 
 from __future__ import annotations
@@ -61,6 +71,12 @@ class NdpSrc(NetworkEndpoint):
         "_last_path_used",
         "_first_send_time",
         "_rto_timers",
+        "_keepalive_timer",
+        "_activity_ps",
+        "_ka_period_ps",
+        "_ka_stall_spanned",
+        "_last_pull_ps",
+        "_max_pull_gap_ps",
         "_started",
         "_handlers",
         "packets_sent",
@@ -130,6 +146,14 @@ class NdpSrc(NetworkEndpoint):
         # longer pile up in the pending queue the way per-packet heap events
         # used to.
         self._rto_timers: Dict[int, Timer] = {}
+        # Last-resort keepalive (see the module docstring): created lazily on
+        # the first NACK/bounce that queues a retransmission, then reused.
+        self._keepalive_timer: Optional[Timer] = None
+        self._activity_ps = -1
+        self._ka_period_ps = 0
+        self._ka_stall_spanned = False
+        self._last_pull_ps = -1
+        self._max_pull_gap_ps = 0
         self._started = False
         # exact-type dispatch table for the receive path (cheaper than an
         # isinstance chain at one lookup per arriving control packet)
@@ -185,11 +209,19 @@ class NdpSrc(NetworkEndpoint):
             return
         self._started = True
         self.record.start_time_ps = self.now()
+        self._last_pull_ps = self.now()  # first pull gap measured from start
+        # idle time is measured from here until the first feedback arrives,
+        # so a total first-window blackout still respects the keepalive's
+        # full patience window instead of firing on the -1 sentinel
+        self._activity_ps = self.now()
         window = min(self.config.initial_window_packets, self.total_packets)
         for _ in range(window):
             seqno = self._next_new_seqno
             self._next_new_seqno += 1
             self._transmit(seqno, is_retransmit=False, syn=True)
+        # standing keepalive for the whole transfer: it must cover not just
+        # queued retransmissions but also a never-pulled unsent tail
+        self._arm_keepalive()
 
     def _transmit(
         self,
@@ -254,6 +286,7 @@ class NdpSrc(NetworkEndpoint):
     # --- receive path -------------------------------------------------------------------
 
     def receive_packet(self, packet: Packet) -> None:
+        self._activity_ps = self.eventlist._now
         handler = self._handlers.get(type(packet))
         if handler is None:
             # subclassed packet types still dispatch correctly, just slower
@@ -318,6 +351,20 @@ class NdpSrc(NetworkEndpoint):
 
     def _handle_pull(self, pull: NdpPull) -> None:
         self.pulls_received += 1
+        # track the largest gap between pulls: the keepalive must not treat
+        # a slow (but ticking) pull clock as a dead one.  Gaps spanning a
+        # keepalive-recovered stall are excluded — they measure the outage,
+        # not the receiver's service cycle, and would permanently ratchet
+        # the stall threshold upwards.
+        now = self.eventlist._now
+        last = self._last_pull_ps
+        if self._ka_stall_spanned:
+            self._ka_stall_spanned = False
+        elif last >= 0:
+            gap = now - last
+            if gap > self._max_pull_gap_ps:
+                self._max_pull_gap_ps = gap
+        self._last_pull_ps = now
         delta = pull.pull_counter - self._last_pull_counter
         if delta <= 0:
             return  # reordered or duplicate pull
@@ -372,6 +419,80 @@ class NdpSrc(NetworkEndpoint):
         route = self.paths.alternative_route(self._last_path_used.get(seqno, -1))
         self._transmit(seqno, is_retransmit=True, route=route)
 
+    def _arm_keepalive(self) -> None:
+        """Arm the standing keepalive at transfer start (if enabled)."""
+        if not self.config.sender_keepalive:
+            return
+        timer = self._keepalive_timer
+        if timer is None:
+            timer = self._keepalive_timer = Timer(
+                self.eventlist, self._keepalive_due, shadow=True
+            )
+        if timer._gen != timer._armed_gen:  # inlined `not timer.armed`
+            timer.schedule_at(self.eventlist._now + self.config.rto_ps)
+
+    def _keepalive_due(self) -> None:
+        """Last-resort send when the pull clock dies with work outstanding.
+
+        The stall threshold is ``rto_ps`` stretched to twice the largest
+        pull gap seen so far — on a busy receiver the legitimate spacing
+        between two pulls of one flow is the receiver's whole round-robin
+        cycle, and a slow clock must not be mistaken for a dead one.  If
+        feedback (ACK/NACK/PULL/bounce) arrived within the threshold the
+        deadline just moves out.  Otherwise every PULL that would have
+        clocked out more data has been lost, so one packet is sent anyway:
+        a queued retransmission first, else the next never-sent packet (a
+        transfer larger than the initial window can stall with an unsent
+        tail and an *empty* retransmission queue).  The arrival prompts the
+        receiver to restart the pull clock, and the per-seqno RTO (armed by
+        the transmit) covers repeated loss.  Consecutive silent rounds back
+        off exponentially; the timer stands until the transfer completes.
+        """
+        if self.complete:
+            return  # defensive; _finish cancels the standing timer
+        now = self.eventlist._now
+        rto = self.config.rto_ps
+        if self.pulls_received >= 2:
+            # two pulls establish the receiver's true service cycle
+            threshold = max(rto, 2 * self._max_pull_gap_ps)
+        else:
+            # Before that, the receiver may simply not have completed its
+            # first round-robin cycle over a large incast (several RTOs per
+            # cycle), so be extra patient before pushing unpulled
+            # retransmissions into the congested port.
+            threshold = max(4 * rto, 2 * self._max_pull_gap_ps)
+        if self._activity_ps >= 0 and now - self._activity_ps < threshold:
+            self._ka_period_ps = 0
+            self._keepalive_timer.schedule_at(self._activity_ps + threshold)
+            return
+        # A stall was witnessed: whatever ends it (this send, a receiver
+        # pull-retry, an RTO), the next observed pull gap measures the
+        # outage rather than the service cycle — exclude it.
+        self._ka_stall_spanned = True
+        sent = False
+        while self._rtx_queue:
+            seqno = self._rtx_queue.popleft()
+            self._rtx_queued.discard(seqno)
+            self._nacked.discard(seqno)
+            if seqno in self._acked:
+                continue
+            self.record.keepalive_retransmits += 1
+            route = self.paths.alternative_route(self._last_path_used.get(seqno, -1))
+            self._transmit(seqno, is_retransmit=True, route=route)
+            sent = True
+            break
+        if not sent and self._next_new_seqno < self.total_packets:
+            seqno = self._next_new_seqno
+            self._next_new_seqno += 1
+            self.record.keepalive_retransmits += 1
+            self._transmit(seqno, is_retransmit=False)
+        # else: everything is in flight; the per-seqno RTOs cover it
+        period = self._ka_period_ps
+        if period < threshold:
+            period = threshold
+        self._ka_period_ps = period * 2
+        self._keepalive_timer.schedule_at(now + period)
+
     # --- completion ----------------------------------------------------------------------
 
     def _finish(self) -> None:
@@ -381,5 +502,13 @@ class NdpSrc(NetworkEndpoint):
         for timer in self._rto_timers.values():
             timer.cancel()
         self._rto_timers.clear()
+        if self._keepalive_timer is not None:
+            self._keepalive_timer.cancel()
+        # Everything is ACKed, so any remaining retransmission-queue entries
+        # are stale duplicates (a second copy beat the queued one); drop them
+        # so a completed sender never looks deadlocked.
+        self._rtx_queue.clear()
+        self._rtx_queued.clear()
+        self._nacked.clear()
         if self.on_complete is not None:
             self.on_complete(self)

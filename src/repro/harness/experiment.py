@@ -168,6 +168,78 @@ def run_until_complete(
     return FctResult(records=[flow.record for flow in flows])
 
 
+@dataclass
+class LivenessReport:
+    """Completion / liveness summary of a set of flows (NDP or baseline).
+
+    ``stuck_senders`` lists flow ids whose sender still holds packets in its
+    retransmission queue — the signature of the pull-loss deadlock the
+    liveness subsystem (pull-retry + sender keepalive) exists to close.
+    """
+
+    total_flows: int = 0
+    completed_flows: int = 0
+    incomplete_flow_ids: List[int] = field(default_factory=list)
+    stuck_senders: List[int] = field(default_factory=list)
+    pull_retries: int = 0
+    keepalive_retransmits: int = 0
+    rtx_from_timeout: int = 0
+
+    @property
+    def all_complete(self) -> bool:
+        """True when every flow delivered its full transfer."""
+        return self.completed_flows == self.total_flows
+
+
+def liveness_report(flows: Sequence[object]) -> LivenessReport:
+    """Summarize completion state and liveness counters for *flows*.
+
+    Works with any network's flow handles; the retry/keepalive counters and
+    retransmit-queue depth are read when the handle exposes them (NDP flows
+    do via ``sink.record`` / ``src.record`` / ``src.retransmit_queue_depth``).
+    """
+    report = LivenessReport(total_flows=len(flows))
+    for flow in flows:
+        if flow.complete:
+            report.completed_flows += 1
+        else:
+            report.incomplete_flow_ids.append(flow.record.flow_id)
+        src = getattr(flow, "src", None)
+        if src is None:
+            continue
+        depth = getattr(src, "retransmit_queue_depth", None)
+        if depth is not None and depth() > 0:
+            report.stuck_senders.append(flow.record.flow_id)
+        sender_record = getattr(src, "record", None)
+        if sender_record is not None:
+            report.keepalive_retransmits += getattr(sender_record, "keepalive_retransmits", 0)
+            report.rtx_from_timeout += getattr(sender_record, "rtx_from_timeout", 0)
+        sink = getattr(flow, "sink", None)
+        if sink is not None and getattr(sink, "record", None) is not None:
+            report.pull_retries += getattr(sink.record, "pull_retries", 0)
+    return report
+
+
+def assert_all_complete(flows: Sequence[object]) -> LivenessReport:
+    """Assert every flow completed and no sender is stuck; return the report.
+
+    The conformance suite's central invariant: after an adversarial loss
+    scenario has been driven to quiescence, every transfer must have been
+    delivered in full and every retransmission queue drained.
+    """
+    report = liveness_report(flows)
+    if not report.all_complete or report.stuck_senders:
+        raise AssertionError(
+            f"liveness violation: {report.completed_flows}/{report.total_flows} flows "
+            f"complete, incomplete={report.incomplete_flow_ids[:16]}, "
+            f"stuck_senders={report.stuck_senders[:16]}, "
+            f"pull_retries={report.pull_retries}, "
+            f"keepalive_retransmits={report.keepalive_retransmits}, "
+            f"rtx_from_timeout={report.rtx_from_timeout}"
+        )
+    return report
+
+
 def permutation_utilization(
     network_builder,
     flow_size_bytes: int = 50_000_000,

@@ -26,7 +26,9 @@ from repro.core.receiver import NdpSink
 from repro.core.sender import NdpSrc
 from repro.core.switch import NdpSwitchQueue
 from repro.sim.eventlist import EventList
+from repro.sim.faults import FaultInjector
 from repro.sim.logger import FlowRecord
+from repro.sim.network import PacketSink
 from repro.sim.queues import DropTailQueue
 from repro.topology.base import Topology
 
@@ -64,6 +66,7 @@ class NdpNetwork:
         config: Optional[NdpConfig] = None,
         seed: int = 1,
         pacer_factory: Optional[Callable[[int], NdpPullPacer]] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         self.topology = topology
         self.eventlist = topology.eventlist
@@ -73,6 +76,11 @@ class NdpNetwork:
         self._pacer_factory = pacer_factory
         self._next_flow_id = 0
         self.flows: List[NdpFlow] = []
+        #: optional fault-injection layer; when set, every packet delivered
+        #: to a flow endpoint (data to sinks, ACK/NACK/PULL to sources)
+        #: passes a FaultPoint tap first.  Bounced (return-to-sender)
+        #: headers are delivered switch-to-source directly and bypass it.
+        self.fault_injector = fault_injector
 
     # --- construction ----------------------------------------------------------
 
@@ -84,6 +92,7 @@ class NdpNetwork:
         config: Optional[NdpConfig] = None,
         seed: int = 1,
         pacer_factory: Optional[Callable[[int], NdpPullPacer]] = None,
+        fault_injector: Optional[FaultInjector] = None,
         **topology_kwargs,
     ) -> "NdpNetwork":
         """Create a topology whose switch ports are NDP queues, plus the network.
@@ -110,7 +119,13 @@ class NdpNetwork:
             host_nic_factory=nic_factory,
             **topology_kwargs,
         )
-        return cls(topology, config=config, seed=seed, pacer_factory=pacer_factory)
+        return cls(
+            topology,
+            config=config,
+            seed=seed,
+            pacer_factory=pacer_factory,
+            fault_injector=fault_injector,
+        )
 
     # --- flows ----------------------------------------------------------------------
 
@@ -166,19 +181,25 @@ class NdpNetwork:
             on_complete=on_complete,
             record_packet_latencies=record_packet_latencies,
         )
+        # With a fault injector installed, deliveries to both endpoints pass
+        # through a FaultPoint tap (synchronous for untouched packets, so a
+        # rule-free injector changes nothing).
+        injector = self.fault_injector
+        src_entry: PacketSink = src if injector is None else injector.tap(src, self.eventlist)
         sink = NdpSink(
             eventlist=self.eventlist,
             flow_id=flow_id,
             node_id=dst_host,
             pacer=self.pacer_for(dst_host),
-            reverse_routes=[route.extended(src) for route in reverse_paths],
+            reverse_routes=[route.extended(src_entry) for route in reverse_paths],
             config=flow_config,
             rng=random.Random(self.rng.randrange(2**62)),
             priority=priority,
         )
+        sink_entry: PacketSink = sink if injector is None else injector.tap(sink, self.eventlist)
         # Forward routes terminate at the sink; they can only be finalized once
         # the sink exists, hence the two-step wiring.
-        src.set_destination_routes([route.extended(sink) for route in forward_paths])
+        src.set_destination_routes([route.extended(sink_entry) for route in forward_paths])
         src.connect(sink)
         src.start(start_time_ps)
         # flow completion time is measured from when the sender starts pushing

@@ -10,6 +10,8 @@ protocol in :mod:`repro` is built on:
 * :mod:`repro.sim.pipe` — fixed-propagation-delay links.
 * :mod:`repro.sim.queues` — drop-tail, ECN-marking and PFC (lossless) queues.
 * :mod:`repro.sim.logger` — counters, flow records and time-series sampling.
+* :mod:`repro.sim.faults` — deterministic fault injection (drop / trim /
+  delay rules) for protocol-conformance testing.
 
 The simulator models store-and-forward switches: each switch port is a queue
 (serialization at the port's line rate) followed by a pipe (propagation
@@ -18,15 +20,17 @@ by the sending host, which is what lets NDP do per-packet source-routed
 multipath forwarding.
 """
 
-from repro.sim.eventlist import EventList, Event
+from repro.sim.eventlist import EventList, Event, Timer
 from repro.sim.packet import Packet, Route, PacketPriority
 from repro.sim.network import PacketSink, NetworkEndpoint
-from repro.sim.pipe import Pipe
+from repro.sim.pipe import Pipe, TappedPipe
+from repro.sim.faults import FaultInjector, FaultPoint, FaultRule
 from repro.sim.queues import (
     BaseQueue,
     DropTailQueue,
     ECNQueue,
     LosslessQueue,
+    TappedQueue,
     PAUSE_THRESHOLD_FRACTION,
     RESUME_THRESHOLD_FRACTION,
 )
@@ -36,16 +40,22 @@ from repro.sim import units
 __all__ = [
     "EventList",
     "Event",
+    "Timer",
     "Packet",
     "Route",
     "PacketPriority",
     "PacketSink",
     "NetworkEndpoint",
     "Pipe",
+    "TappedPipe",
+    "FaultInjector",
+    "FaultPoint",
+    "FaultRule",
     "BaseQueue",
     "DropTailQueue",
     "ECNQueue",
     "LosslessQueue",
+    "TappedQueue",
     "PAUSE_THRESHOLD_FRACTION",
     "RESUME_THRESHOLD_FRACTION",
     "QueueStats",

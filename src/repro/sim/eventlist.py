@@ -37,6 +37,15 @@ Hot-path producers (queues, pipes, pacers) use :meth:`EventList.schedule_raw`
 directly from inside the ``sim``/``core`` packages), which enqueue a bare
 callback without allocating an :class:`Event` handle; use the classic
 :meth:`EventList.schedule` whenever the caller may need to cancel.
+
+Watchdog-style timers (pull-retry, sender keepalive) are created with
+``shadow=True``: they draw their tie-breaking sequence numbers from a
+*shadow* counter starting at :data:`_SHADOW_SEQ_BASE` instead of the shared
+insertion counter.  Arming, re-arming or cancelling a shadow timer therefore
+cannot shift the ``(when, seq)`` order of any ordinary event — a liveness
+mechanism that never fires leaves a seeded run bit-for-bit identical.  At a
+timestamp tie a shadow entry always runs after every ordinary entry, which
+is itself deterministic.
 """
 
 from __future__ import annotations
@@ -59,6 +68,19 @@ _NO_LIMIT = 1 << 62
 
 #: compaction trigger: evict eagerly once this many cancelled entries linger
 _COMPACT_MIN_STALE = 64
+
+#: absolute staleness backstop: long-lived armed entries (liveness watchdogs,
+#: one per endpoint) inflate the live count that the ratio trigger below is
+#: measured against, which can starve compaction exactly when tombstones pile
+#: up fastest; past this many lingering tombstones we evict regardless
+_COMPACT_MAX_STALE = 1536
+
+#: first sequence number of the shadow space used by ``shadow=True`` timers.
+#: Far above anything the ordinary insertion counter can reach (10^14 events
+#: would take years of wall-clock), so the two spaces can never collide and a
+#: shadow entry deterministically runs *after* every ordinary entry scheduled
+#: for the same picosecond.
+_SHADOW_SEQ_BASE = 1 << 48
 
 
 class Event:
@@ -109,17 +131,31 @@ class Timer:
     arming a retransmission timer per packet used to push one heap entry per
     packet that lingered until it surfaced; a :class:`Timer` per sequence
     number keeps exactly one live entry and cancels in O(1).
+
+    Passing ``shadow=True`` makes the timer draw its tie-breaking sequence
+    numbers from the event list's shadow counter (see the module docstring):
+    arming or cancelling it cannot perturb the execution order of ordinary
+    events, which is required of the liveness watchdogs (pull-retry, sender
+    keepalive) so that a run in which they never fire stays bit-identical to
+    a run without them.
     """
 
-    __slots__ = ("eventlist", "callback", "args", "when", "_gen", "_armed_gen")
+    __slots__ = ("eventlist", "callback", "args", "when", "_gen", "_armed_gen", "_shadow")
 
-    def __init__(self, eventlist: "EventList", callback: Callable[..., Any], *args: Any):
+    def __init__(
+        self,
+        eventlist: "EventList",
+        callback: Callable[..., Any],
+        *args: Any,
+        shadow: bool = False,
+    ):
         self.eventlist = eventlist
         self.callback = callback
         self.args = args
         self.when = -1
         self._gen = 0
         self._armed_gen = -1
+        self._shadow = shadow
 
     @property
     def armed(self) -> bool:
@@ -138,8 +174,13 @@ class Timer:
         self.when = when
         gen = self._gen = self._gen + 1
         self._armed_gen = gen
-        # inlined EventList._insert (re-arming is once per retransmission)
-        seq = eventlist._sequence = eventlist._sequence + 1
+        # inlined EventList._insert (re-arming is once per retransmission);
+        # shadow timers consume shadow sequence numbers so they cannot shift
+        # the tie-breaking order of ordinary events
+        if self._shadow:
+            seq = eventlist._shadow_sequence = eventlist._shadow_sequence + 1
+        else:
+            seq = eventlist._sequence = eventlist._sequence + 1
         entry = (when, seq, self, gen, self.callback, self.args)
         delta = (when >> _WHEEL_SHIFT) - eventlist._cursor
         if delta <= 0:
@@ -186,6 +227,7 @@ class EventList:
         "_wheel_count",
         "_now",
         "_sequence",
+        "_shadow_sequence",
         "_stopped",
         "_stale",
         "events_executed",
@@ -207,6 +249,7 @@ class EventList:
         self._wheel_count: int = 0
         self._now: int = 0
         self._sequence: int = 0
+        self._shadow_sequence: int = _SHADOW_SEQ_BASE
         self._stopped: bool = False
         self._stale: int = 0
         self.events_executed: int = 0
@@ -285,16 +328,25 @@ class EventList:
             raise ValueError(f"delay must be non-negative, got {delay}")
         self._insert(self._now + delay, None, 0, callback, args)
 
-    def new_timer(self, callback: Callable[..., Any], *args: Any) -> Timer:
-        """Create a reusable :class:`Timer` bound to this event list."""
-        return Timer(self, callback, *args)
+    def new_timer(
+        self, callback: Callable[..., Any], *args: Any, shadow: bool = False
+    ) -> Timer:
+        """Create a reusable :class:`Timer` bound to this event list.
+
+        ``shadow=True`` yields a watchdog timer whose (re-)arming draws from
+        the shadow sequence space and therefore cannot perturb the order of
+        ordinary events (see the module docstring).
+        """
+        return Timer(self, callback, *args, shadow=shadow)
 
     # --- cancellation bookkeeping --------------------------------------------------
 
     def _note_stale(self) -> None:
         """Record one newly dead entry; eagerly evict once they dominate."""
         stale = self._stale = self._stale + 1
-        if stale > _COMPACT_MIN_STALE and stale * 2 > self._wheel_count + len(self._far):
+        if stale > _COMPACT_MIN_STALE and (
+            stale * 2 > self._wheel_count + len(self._far) or stale > _COMPACT_MAX_STALE
+        ):
             self._compact()
 
     def _compact(self) -> None:

@@ -60,6 +60,12 @@ class FlowRecord:
     rtx_from_nack: int = 0
     rtx_from_bounce: int = 0
     rtx_from_timeout: int = 0
+    #: receiver-side liveness: pull-retry rounds triggered by a stalled
+    #: transfer (the pull_rto_ps watchdog re-emitting lost PULLs)
+    pull_retries: int = 0
+    #: sender-side liveness: last-resort retransmissions sent because the
+    #: pull clock went silent with packets still queued for retransmission
+    keepalive_retransmits: int = 0
 
     @property
     def completed(self) -> bool:

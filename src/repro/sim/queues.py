@@ -334,6 +334,50 @@ class DropTailQueue(BaseQueue):
         """Hook for tests and derived queues that track individual drops."""
 
 
+class TappedQueue(DropTailQueue):
+    """A drop-tail queue with an admission-time fault tap.
+
+    ``tap`` follows the :meth:`repro.sim.faults.FaultInjector.inspect`
+    contract (``(verdict, extra_delay_ps)``).  Used as a host-NIC or port
+    factory in conformance tests to model faults at a specific hop — e.g.
+    "this NIC loses every k-th header".  A dropped packet is recorded in the
+    queue's drop statistics exactly like a buffer overflow; a delayed packet
+    is re-admitted after the extra delay; passed packets are admitted on the
+    spot, preserving the untapped schedule bit-for-bit.
+    """
+
+    __slots__ = ("tap", "faults_dropped", "faults_delayed")
+
+    def __init__(
+        self,
+        eventlist: EventList,
+        service_rate_bps: int,
+        max_queue_bytes: int,
+        tap,
+        name: str = "tapped-queue",
+    ) -> None:
+        super().__init__(eventlist, service_rate_bps, max_queue_bytes, name=name)
+        self.tap = tap
+        self.faults_dropped = 0
+        self.faults_delayed = 0
+
+    def receive_packet(self, packet: Packet) -> None:
+        verdict, extra_ps = self.tap(packet)
+        if verdict == "drop":
+            self.faults_dropped += 1
+            self.stats.record_drop(packet.size)
+            self._notify_drop(packet)
+            return
+        if verdict == "delay":
+            self.faults_delayed += 1
+            self.eventlist.schedule_raw_in(extra_ps, self._admit_delayed, (packet,))
+            return
+        DropTailQueue.receive_packet(self, packet)
+
+    def _admit_delayed(self, packet: Packet) -> None:
+        DropTailQueue.receive_packet(self, packet)
+
+
 class ECNQueue(DropTailQueue):
     """Drop-tail queue that marks ECN-capable packets above a sharp threshold.
 

@@ -112,6 +112,68 @@ class TestScoreboard:
         used = {manager.next_route().path_id for _ in range(12)}
         assert used == {0, 1, 2, 3}
 
+    def test_min_samples_boundary_exactly_at_threshold_is_judged(self):
+        # samples == min_samples must be enough to judge a path; one fewer
+        # must not be (the comparison is `samples >= min_samples`)
+        manager = PathManager(make_routes(4), rng=random.Random(30), min_samples=10)
+        for path in range(3):
+            for _ in range(10):
+                manager.record_ack(path)
+        for _ in range(5):
+            manager.record_ack(3)
+            manager.record_nack(3)
+        manager.next_route()  # refresh the scoreboard
+        assert manager.currently_excluded == [3]
+
+    def test_min_samples_boundary_one_below_threshold_is_not_judged(self):
+        manager = PathManager(make_routes(4), rng=random.Random(31), min_samples=11)
+        for path in range(3):
+            for _ in range(11):
+                manager.record_ack(path)
+        # path 3: 10 samples, all negative — still one short of judgement
+        for _ in range(10):
+            manager.record_nack(3)
+        manager.next_route()
+        assert manager.currently_excluded == []
+
+    def test_nack_ratio_boundary_exactly_at_ratio_is_kept(self):
+        # exclusion requires the NACK fraction to strictly *exceed*
+        # nack_ratio times the mean.  With paths at 0% and 20% the mean is
+        # 10%, so the bad path sits exactly at 2.0x the mean (the halving
+        # and doubling are exact in binary) and must stay in play.
+        manager = PathManager(
+            make_routes(2), rng=random.Random(32), min_samples=10, nack_ratio=2.0
+        )
+        for _ in range(100):
+            manager.record_ack(0)
+        for _ in range(80):
+            manager.record_ack(1)
+        for _ in range(20):
+            manager.record_nack(1)
+        manager.next_route()
+        assert manager.currently_excluded == []
+        # the equality is structural: with one clean path, the bad path's
+        # fraction always equals 2x the mean, so more NACKs never tip it
+        manager.record_nack(1)
+        manager._permutation = []  # force a scoreboard refresh
+        manager.next_route()
+        assert manager.currently_excluded == []
+
+    def test_nack_fraction_below_absolute_floor_never_excluded(self):
+        # the scoreboard ignores NACK fractions under its 5% floor even when
+        # they are many multiples of the (tiny) mean
+        manager = PathManager(
+            make_routes(2), rng=random.Random(33), min_samples=10, nack_ratio=2.0
+        )
+        for _ in range(1000):
+            manager.record_ack(0)
+        for _ in range(960):
+            manager.record_ack(1)
+        for _ in range(40):  # 4% NACKs: an outlier by ratio, under the floor
+            manager.record_nack(1)
+        manager.next_route()
+        assert manager.currently_excluded == []
+
     def test_paths_below_min_samples_are_not_judged(self):
         manager = PathManager(make_routes(3), rng=random.Random(12), min_samples=100)
         for _ in range(20):

@@ -1,0 +1,176 @@
+"""Adversarial protocol-conformance scenarios.
+
+Each test injects a different fault pattern — loss, forced trims, delay,
+header-queue overflow — into a seeded incast and asserts the two suite
+invariants: every transfer completes exactly (no lost and no double-counted
+bytes) and the simulation drains without leaking timers or pulls.  The class
+names the recovery mechanism each scenario is expected to exercise.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import NdpConfig
+from repro.core.switch import NdpSwitchQueue
+from repro.harness.experiment import assert_all_complete
+from repro.sim.faults import FaultInjector
+from repro.sim.units import milliseconds
+
+from tests.protocol.scenarios import (
+    assert_no_leaks,
+    build_incast,
+    record_tuples,
+    run_to_quiescence,
+)
+
+FLOW_BYTES = 45_000
+
+
+def assert_exact_delivery(flows):
+    """Every sink got its full transfer exactly once, duplicates discarded."""
+    for flow in flows:
+        assert flow.record.bytes_delivered == flow.record.flow_size_bytes, (
+            f"flow {flow.flow_id}: {flow.record.bytes_delivered} bytes delivered "
+            f"of {flow.record.flow_size_bytes}"
+        )
+
+
+class TestAckLoss:
+    def test_dropped_acks_recovered_by_per_seqno_rto(self):
+        injector = FaultInjector(seed=11)
+        injector.drop(classes={"ack"}, every_kth=3)
+        eventlist, network, flows = build_incast(injector=injector)
+        run_to_quiescence(eventlist)
+        assert_all_complete(flows)
+        assert_exact_delivery(flows)
+        # the lost ACKs leave RTOs armed, so duplicates are retransmitted
+        # and the receivers must deduplicate them
+        assert sum(f.sender_record.rtx_from_timeout for f in flows) > 0
+        assert_no_leaks(network)
+
+
+class TestNackLoss:
+    def test_dropped_nacks_recovered_by_per_seqno_rto(self):
+        # A lost NACK means the sender never learns its packet was trimmed;
+        # the per-seqno RTO (which the NACK would have cancelled) recovers.
+        injector = FaultInjector(seed=12)
+        injector.drop(classes={"nack"}, every_kth=2)
+        eventlist, network, flows = build_incast(injector=injector)
+        run_to_quiescence(eventlist)
+        assert_all_complete(flows)
+        assert_exact_delivery(flows)
+        assert sum(f.sender_record.rtx_from_timeout for f in flows) > 0
+        assert_no_leaks(network)
+
+
+class TestHeaderLoss:
+    def test_dropped_trimmed_headers_recovered(self):
+        # The trimmed header never reaches the sink, so neither ACK nor NACK
+        # is generated — only the still-armed RTO knows the packet existed.
+        injector = FaultInjector(seed=13)
+        injector.drop(classes={"header"}, every_kth=2)
+        eventlist, network, flows = build_incast(injector=injector)
+        run_to_quiescence(eventlist)
+        assert_all_complete(flows)
+        assert_exact_delivery(flows)
+        assert_no_leaks(network)
+
+
+class TestForcedTrims:
+    def test_injected_trims_follow_nack_retransmit_path(self):
+        injector = FaultInjector(seed=14)
+        injector.trim(classes={"data"}, every_kth=4)
+        eventlist, network, flows = build_incast(injector=injector)
+        run_to_quiescence(eventlist)
+        assert_all_complete(flows)
+        assert_exact_delivery(flows)
+        assert injector.trimmed.get("data", 0) > 0
+        assert sum(f.record.headers_received for f in flows) > 0
+        assert_no_leaks(network)
+
+
+class TestDelay:
+    def test_delayed_pulls_slow_but_do_not_break_the_transfer(self):
+        injector = FaultInjector(seed=15)
+        injector.delay(milliseconds(2), classes={"pull"}, every_kth=5)
+        eventlist, network, flows = build_incast(injector=injector)
+        run_to_quiescence(eventlist)
+        assert_all_complete(flows)
+        assert_exact_delivery(flows)
+        assert_no_leaks(network)
+
+    def test_delayed_acks_cause_only_harmless_duplicates(self):
+        injector = FaultInjector(seed=16)
+        injector.delay(milliseconds(2), classes={"ack"}, every_kth=4)
+        eventlist, network, flows = build_incast(injector=injector)
+        run_to_quiescence(eventlist)
+        assert_all_complete(flows)
+        assert_exact_delivery(flows)
+        assert_no_leaks(network)
+
+
+class TestHeaderQueueOverflow:
+    """The return-to-sender path under real (not synthetic) overflow."""
+
+    def test_rts_bounces_recover_the_transfer(self):
+        # Shrink the header queue so the first-RTT trim storm overflows it:
+        # excess trimmed headers must bounce back to their senders and be
+        # retransmitted directly.
+        config = NdpConfig(header_queue_bytes=16 * 64)
+        eventlist, network, flows = build_incast(senders=12, config=config)
+        run_to_quiescence(eventlist)
+        assert_all_complete(flows)
+        assert_exact_delivery(flows)
+        bounced = sum(
+            q.headers_bounced
+            for q in network.topology.all_queues()
+            if isinstance(q, NdpSwitchQueue)
+        )
+        assert bounced > 0, "scenario failed to overflow the header queue"
+        assert sum(f.sender_record.rtx_from_bounce for f in flows) > 0
+        assert_no_leaks(network)
+
+    def test_control_drops_without_rts_recovered_by_liveness(self):
+        # With return-to-sender disabled an overflowing header queue silently
+        # drops control packets — the exact loss pattern behind the 4-of-432
+        # incast deadlock.  The liveness subsystem must still complete every
+        # flow.
+        config = NdpConfig(header_queue_bytes=16 * 64, return_to_sender=False)
+        eventlist, network, flows = build_incast(senders=12, config=config)
+        run_to_quiescence(eventlist)
+        assert_all_complete(flows)
+        assert_exact_delivery(flows)
+        dropped = sum(
+            q.stats.packets_dropped
+            for q in network.topology.all_queues()
+            if isinstance(q, NdpSwitchQueue)
+        )
+        assert dropped > 0, "scenario failed to overflow the header queue"
+        assert_no_leaks(network)
+
+
+class TestChaos:
+    def test_probabilistic_multi_class_loss_is_survived(self):
+        injector = FaultInjector(seed=17)
+        injector.drop(
+            classes={"data", "header", "ack", "nack", "pull"}, probability=0.05
+        )
+        eventlist, network, flows = build_incast(injector=injector)
+        run_to_quiescence(eventlist)
+        assert_all_complete(flows)
+        assert_exact_delivery(flows)
+        assert injector.injected_total() > 0
+        assert_no_leaks(network)
+
+    def test_chaos_scenario_is_deterministic(self):
+        def run():
+            injector = FaultInjector(seed=17)
+            injector.drop(
+                classes={"data", "header", "ack", "nack", "pull"}, probability=0.05
+            )
+            eventlist, network, flows = build_incast(injector=injector)
+            run_to_quiescence(eventlist)
+            return record_tuples(flows), injector.injected_total()
+
+        first = run()
+        second = run()
+        assert first == second

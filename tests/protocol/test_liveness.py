@@ -1,0 +1,131 @@
+"""Liveness subsystem: pull-retry watchdog and sender keepalive.
+
+The scenarios here surround the deadlock documented in the ROADMAP: when the
+*final* PULLs of a transfer are lost, the sender sits forever on a non-empty
+retransmission queue because the NACKs already cancelled its per-seqno RTOs.
+Each mechanism is exercised in isolation by disabling the other through its
+config knob, and the deadlock itself is reproduced as a negative control by
+disabling both.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import NdpConfig
+from repro.harness.experiment import assert_all_complete, liveness_report
+from repro.sim.faults import FaultInjector
+
+from tests.protocol.scenarios import assert_no_leaks, build_incast, run_to_quiescence
+
+
+class TestPullRetry:
+    def test_transient_pull_loss_recovered_by_retry(self):
+        # Drop a finite window of flow 0's PULLs — including the retried
+        # ones, until the rule exhausts — with the sender keepalive off, so
+        # only the receiver watchdog can restart the transfer.
+        injector = FaultInjector(seed=5)
+        rule = injector.drop(classes={"pull"}, flow_id=0, skip=1, max_count=12)
+        eventlist, network, flows = build_incast(
+            config=NdpConfig(sender_keepalive=False), injector=injector
+        )
+        run_to_quiescence(eventlist)
+        report = assert_all_complete(flows)
+        assert rule.injected == 12
+        assert report.pull_retries >= 1
+        assert report.keepalive_retransmits == 0
+        assert_no_leaks(network)
+
+    def test_retry_rounds_give_up_after_max_pull_retries(self):
+        # A permanent PULL blackhole with the keepalive disabled cannot be
+        # recovered; the watchdog must retry its bounded number of rounds,
+        # then disarm and leave a clean (if incomplete) simulation.
+        injector = FaultInjector(seed=5)
+        injector.drop(classes={"pull"}, flow_id=0, skip=1)
+        config = NdpConfig(sender_keepalive=False, max_pull_retries=3)
+        eventlist, network, flows = build_incast(config=config, injector=injector)
+        run_to_quiescence(eventlist)
+        report = liveness_report(flows)
+        assert report.incomplete_flow_ids == [0]
+        assert flows[0].record.pull_retries == 3
+        assert_no_leaks(network)
+
+    def test_retry_inert_on_healthy_run(self):
+        eventlist, network, flows = build_incast()
+        run_to_quiescence(eventlist)
+        report = assert_all_complete(flows)
+        assert report.pull_retries == 0
+        assert report.keepalive_retransmits == 0
+        assert_no_leaks(network)
+
+    def test_max_pull_retries_zero_disables_watchdog(self):
+        eventlist, network, flows = build_incast(config=NdpConfig(max_pull_retries=0))
+        run_to_quiescence(eventlist)
+        assert_all_complete(flows)
+        assert all(flow.sink._retry_timer is None for flow in flows)
+        assert_no_leaks(network)
+
+
+class TestSenderKeepalive:
+    def test_pull_blackhole_recovered_by_keepalive(self):
+        # Every PULL of flow 0 after the first is lost forever, so the pull
+        # clock — including the receiver's retries — is dead.  The keepalive
+        # must drain the retransmission queue directly.
+        injector = FaultInjector(seed=5)
+        injector.drop(classes={"pull"}, flow_id=0, skip=1)
+        eventlist, network, flows = build_incast(
+            config=NdpConfig(max_pull_retries=0), injector=injector
+        )
+        run_to_quiescence(eventlist)
+        report = assert_all_complete(flows)
+        assert report.keepalive_retransmits >= 1
+        assert flows[0].src.retransmit_queue_depth() == 0
+        assert_no_leaks(network)
+
+    def test_pull_blackhole_with_unsent_tail_recovered_by_keepalive(self):
+        # A transfer larger than the initial window stalls under PULL loss
+        # with an *empty* retransmission queue: the tail was never sent, so
+        # no per-seqno RTO exists for it and the receiver's retries are
+        # swallowed too.  The keepalive must push the unsent tail itself.
+        injector = FaultInjector(seed=6)
+        injector.drop(classes={"pull"}, skip=1)
+        eventlist, network, flows = build_incast(
+            senders=2, bytes_per_sender=300_000, injector=injector
+        )
+        run_to_quiescence(eventlist)
+        report = assert_all_complete(flows)
+        assert report.keepalive_retransmits >= 1
+        assert_no_leaks(network)
+
+    def test_keepalive_inert_on_healthy_run(self):
+        eventlist, network, flows = build_incast(config=NdpConfig(max_pull_retries=0))
+        run_to_quiescence(eventlist)
+        report = assert_all_complete(flows)
+        assert report.keepalive_retransmits == 0
+        assert_no_leaks(network)
+
+
+class TestDeadlockNegativeControl:
+    def test_pull_loss_deadlocks_without_liveness_subsystem(self):
+        # The original bug, reproduced on purpose: both mechanisms disabled,
+        # flow 0's PULLs blackholed.  The sender must end up stuck with a
+        # non-empty retransmission queue while the event list drains dry —
+        # exactly the 4-of-432 signature from the incast benchmark.
+        injector = FaultInjector(seed=5)
+        injector.drop(classes={"pull"}, flow_id=0, skip=1)
+        config = NdpConfig(max_pull_retries=0, sender_keepalive=False)
+        eventlist, network, flows = build_incast(config=config, injector=injector)
+        run_to_quiescence(eventlist)
+        report = liveness_report(flows)
+        assert not report.all_complete
+        assert report.incomplete_flow_ids == [0]
+        assert report.stuck_senders == [0]
+        assert flows[0].src.retransmit_queue_depth() > 0
+        # the deadlock is quiescent, not livelocked: nothing leaks either
+        assert_no_leaks(network)
+
+    def test_liveness_subsystem_closes_the_same_scenario(self):
+        injector = FaultInjector(seed=5)
+        injector.drop(classes={"pull"}, flow_id=0, skip=1)
+        eventlist, network, flows = build_incast(injector=injector)
+        run_to_quiescence(eventlist)
+        assert_all_complete(flows)
+        assert_no_leaks(network)

@@ -249,3 +249,61 @@ class TestPendingAccounting:
         eventlist.schedule(100, seen.append, "b")
         assert eventlist.run_until(50) == 50
         assert seen == ["a"]
+
+
+class TestShadowTimer:
+    """Shadow timers (liveness watchdogs) must never perturb ordinary order."""
+
+    def test_shadow_timer_fires_and_cancels_like_a_timer(self, eventlist):
+        fired = []
+        timer = eventlist.new_timer(fired.append, "tick", shadow=True)
+        timer.schedule_at(100)
+        eventlist.run()
+        assert fired == ["tick"]
+        timer.schedule_at(eventlist.now() + 50)
+        timer.cancel()
+        eventlist.run()
+        assert fired == ["tick"]
+
+    def test_shadow_timer_does_not_consume_ordinary_sequence_numbers(self, eventlist):
+        timer = eventlist.new_timer(lambda: None, shadow=True)
+        before = eventlist._sequence
+        timer.schedule_at(500)
+        timer.schedule_at(600)  # re-arm
+        timer.cancel()
+        assert eventlist._sequence == before
+
+    def test_shadow_entry_loses_timestamp_ties_to_ordinary_entries(self, eventlist):
+        order = []
+        timer = eventlist.new_timer(order.append, "shadow", shadow=True)
+        timer.schedule_at(10)  # armed first...
+        eventlist.schedule(10, order.append, "ordinary")
+        eventlist.run()
+        # ...but ordinary events always win the tie, deterministically
+        assert order == ["ordinary", "shadow"]
+
+    def test_arming_shadow_timers_leaves_execution_order_identical(self):
+        def run(with_shadow):
+            evl = EventList()
+            order = []
+            evl.schedule(5, order.append, "a")
+            if with_shadow:
+                watchdog = evl.new_timer(lambda: None, shadow=True)
+                watchdog.schedule_at(7)
+                watchdog.cancel()
+            # same timestamps as the first batch: tie-breaking by sequence
+            evl.schedule(5, order.append, "b")
+            evl.schedule(7, order.append, "c")
+            evl.run()
+            return order, evl.events_executed
+
+        assert run(False) == run(True)
+
+    def test_far_heap_and_wheel_paths(self, eventlist):
+        fired = []
+        timer_near = eventlist.new_timer(fired.append, "near", shadow=True)
+        timer_far = eventlist.new_timer(fired.append, "far", shadow=True)
+        timer_near.schedule_at(SLOT // 2)
+        timer_far.schedule_at(HORIZON + SLOT)
+        eventlist.run()
+        assert fired == ["near", "far"]
