@@ -5,22 +5,39 @@ Usage::
     python -m repro.cli list                 # show every available experiment
     python -m repro.cli fig14                # regenerate Figure 14 and print it
     python -m repro.cli fig21 fig10          # several experiments in one go
+    python -m repro.cli all --jobs 4         # every experiment, 4 workers
+    python -m repro.cli fig16 --no-cache     # force a fresh simulation
+    python -m repro.cli sweep fig16 --set response_bytes=90000,450000 \\
+        --set seed=1,2 --jobs 4              # user-defined parameter grid
 
-Each experiment name maps to a generator in :mod:`repro.harness.figures`;
-the CLI runs it with its default (laptop-friendly) scale and pretty-prints
-the resulting rows.  The benchmarks in ``benchmarks/`` run the same
-generators with shape assertions; this entry point is for interactive
-exploration.
+Each experiment name maps to a generator in :mod:`repro.harness.figures`.
+Experiments are decomposed into independent per-point runs (see
+:mod:`repro.harness.sweep`): ``--jobs N`` fans those runs across worker
+processes, and results are memoized in a persistent on-disk cache
+(``$REPRO_CACHE_DIR``, default ``~/.cache/repro``) keyed by experiment,
+parameters and a fingerprint of the simulator source — a second invocation
+of ``all`` is served from disk in seconds.  ``--no-cache`` (or
+``REPRO_NO_CACHE=1``) bypasses the cache; results are bit-identical either
+way.
+
+The ``sweep`` subcommand runs one experiment over the cartesian product of
+user-supplied parameter values.  ``--set key=v1,v2`` sweeps ``key`` over
+the listed values (each parsed as JSON, so ``--set 'windows=[1,2,4]'``
+passes a list as a *single* value); valid keys are the keyword arguments
+of the experiment's generator.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
+import itertools
+import json
 import sys
 import time
-from typing import Callable, Dict, Iterable, Mapping, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence
 
-from repro.harness import figures
+from repro.harness import figures, sweep
 
 #: experiment name -> (description, callable)
 EXPERIMENTS: Dict[str, tuple[str, Callable[[], object]]] = {
@@ -56,35 +73,247 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="*",
-        help="experiment names (e.g. fig14), or 'list' to enumerate them",
+        help="experiment names (e.g. fig14), 'all' for every experiment, "
+        "'list' to enumerate them, or 'sweep EXPERIMENT' for a parameter grid",
+    )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="fan independent simulation runs across N worker processes",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent result cache (~/.cache/repro or $REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--set", action="append", default=[], metavar="KEY=V1,V2,...",
+        dest="grid", help="(sweep only) sweep a generator parameter over values",
+    )
+    parser.add_argument(
+        "--quiet", "-q", action="store_true",
+        help="suppress per-run progress lines",
     )
     args = parser.parse_args(argv)
+
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
 
     if not args.experiments or args.experiments == ["list"]:
         _print_catalogue()
         return 0
 
-    unknown = [name for name in args.experiments if name not in EXPERIMENTS]
+    cache = None if args.no_cache else sweep.default_cache()
+
+    if args.experiments[0] == "sweep":
+        return _run_sweep(args.experiments[1:], args.grid, args.jobs, cache, args.quiet)
+    if args.grid:
+        print("--set is only valid with the 'sweep' subcommand", file=sys.stderr)
+        return 2
+
+    if "all" in args.experiments:
+        if len(args.experiments) > 1:
+            print("'all' already selects every experiment; do not combine it "
+                  "with other names", file=sys.stderr)
+            return 2
+        names = list(EXPERIMENTS)
+    else:
+        names = list(args.experiments)
+    unknown = [name for name in names if name not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         _print_catalogue()
         return 2
 
-    for name in args.experiments:
-        description, generator = EXPERIMENTS[name]
+    return _run_experiments(names, args.jobs, cache, args.quiet)
+
+
+def _run_experiments(names: List[str], jobs: int, cache, quiet: bool) -> int:
+    """Fan every figure's run specs across one worker pool, then assemble."""
+    plans = {name: figures.FIGURE_PLANS[name]() for name in names}
+    all_specs: List[sweep.RunSpec] = []
+    for name in names:
+        all_specs.extend(plans[name].specs)
+
+    started = time.time()
+    baseline = _cache_counters(cache)
+    progress = None if quiet else _progress_printer(len(all_specs))
+    try:
+        results = sweep.run_specs(all_specs, jobs=jobs, cache=cache, on_result=progress)
+    except RuntimeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        if cache is not None:
+            print("(completed runs were cached and will be reused)", file=sys.stderr)
+        return 1
+
+    offset = 0
+    for name in names:
+        plan = plans[name]
+        figure_results = results[offset:offset + len(plan.specs)]
+        offset += len(plan.specs)
+        description, _generator = EXPERIMENTS[name]
         print(f"\n### {name} — {description}")
-        started = time.time()
-        result = generator()
-        elapsed = time.time() - started
-        _print_result(result)
-        print(f"({elapsed:.1f} s)")
+        _print_result(plan.assemble(figure_results))
+    _print_run_summary(len(all_specs), cache, baseline, started)
     return 0
+
+
+def _run_sweep(
+    positional: List[str], grid_args: List[str], jobs: int, cache, quiet: bool
+) -> int:
+    """Run one experiment over the cartesian product of ``--set`` values."""
+    if len(positional) != 1 or positional[0] not in figures.FIGURE_PLANS:
+        known = ", ".join(figures.FIGURE_PLANS)
+        print(f"usage: sweep EXPERIMENT --set key=v1,v2 (experiments: {known})",
+              file=sys.stderr)
+        return 2
+    name = positional[0]
+    plan_builder = figures.FIGURE_PLANS[name]
+    valid = set(inspect.signature(plan_builder).parameters)
+    try:
+        grid = _parse_grid(grid_args)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    invalid = [key for key in grid if key not in valid]
+    if invalid:
+        print(
+            f"unknown parameter(s) for {name}: {', '.join(invalid)} "
+            f"(valid: {', '.join(sorted(valid))})",
+            file=sys.stderr,
+        )
+        return 2
+
+    keys = list(grid)
+    combos = [
+        dict(zip(keys, values))
+        for values in itertools.product(*(grid[key] for key in keys))
+    ]
+    try:
+        plans = [plan_builder(**combo) for combo in combos]
+    except Exception as error:
+        print(f"could not build {name} specs from the given grid: {error}",
+              file=sys.stderr)
+        return 2
+    all_specs: List[sweep.RunSpec] = []
+    for plan in plans:
+        all_specs.extend(plan.specs)
+
+    started = time.time()
+    baseline = _cache_counters(cache)
+    progress = None if quiet else _progress_printer(len(all_specs))
+    try:
+        results = sweep.run_specs(all_specs, jobs=jobs, cache=cache, on_result=progress)
+    except RuntimeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        print("(check the swept values match the parameter's expected shape; "
+              "completed runs were cached)", file=sys.stderr)
+        return 1
+
+    offset = 0
+    for combo, plan in zip(combos, plans):
+        combo_results = results[offset:offset + len(plan.specs)]
+        offset += len(plan.specs)
+        label = ", ".join(f"{key}={value}" for key, value in combo.items()) or "defaults"
+        print(f"\n### {name} [{label}]")
+        _print_result(plan.assemble(combo_results))
+    _print_run_summary(len(all_specs), cache, baseline, started)
+    return 0
+
+
+def _parse_grid(grid_args: List[str]) -> Dict[str, List[Any]]:
+    """Parse repeated ``--set key=v1,v2`` options into {key: [values]}.
+
+    Values are split on top-level commas (commas inside ``[...]``/``{...}``
+    or quoted strings group) and each piece is parsed as JSON, falling back
+    to a bare string.  Repeating a key across ``--set`` options appends to
+    its value list (``--set seed=1 --set seed=2`` sweeps both).
+    """
+    grid: Dict[str, List[Any]] = {}
+    for item in grid_args:
+        key, separator, raw = item.partition("=")
+        key = key.strip()
+        if not separator or not key or not raw.strip():
+            raise ValueError(f"--set expects KEY=V1,V2,... got {item!r}")
+        grid.setdefault(key, []).extend(
+            _parse_value(piece) for piece in _split_top_level(raw)
+        )
+    return grid
+
+
+def _split_top_level(raw: str) -> List[str]:
+    pieces: List[str] = []
+    current: List[str] = []
+    depth = 0
+    quote = None  # the active string delimiter, if any
+    escaped = False
+    for char in raw:
+        if quote is not None:
+            current.append(char)
+            if escaped:
+                escaped = False
+            elif char == "\\":
+                escaped = True
+            elif char == quote:
+                quote = None
+            continue
+        if char in "'\"":
+            quote = char
+        elif char in "[{(":
+            depth += 1
+        elif char in "]})":
+            depth = max(0, depth - 1)
+        elif char == "," and depth == 0:
+            pieces.append("".join(current))
+            current = []
+            continue
+        current.append(char)
+    pieces.append("".join(current))
+    return [piece for piece in (p.strip() for p in pieces) if piece]
+
+
+def _parse_value(piece: str) -> Any:
+    try:
+        return json.loads(piece)
+    except ValueError:
+        # tolerate shell-style single quotes around a bare string value
+        if len(piece) >= 2 and piece[0] == piece[-1] and piece[0] in "'\"":
+            return piece[1:-1]
+        return piece
+
+
+def _progress_printer(total: int) -> Callable[[sweep.RunSpec, int, str], None]:
+    state = {"done": 0}
+
+    def on_result(spec: sweep.RunSpec, _index: int, source: str) -> None:
+        state["done"] += 1
+        print(f"  [{state['done']}/{total}] {spec.experiment} ({source})", flush=True)
+
+    return on_result
+
+
+def _cache_counters(cache) -> tuple[int, int]:
+    return (cache.hits, cache.misses) if cache is not None else (0, 0)
+
+
+def _print_run_summary(total: int, cache, baseline: tuple[int, int], started: float) -> None:
+    elapsed = time.time() - started
+    if cache is not None:
+        hits = cache.hits - baseline[0]
+        misses = cache.misses - baseline[1]
+        print(
+            f"\n{total} runs in {elapsed:.1f} s "
+            f"({hits} from cache, {misses} simulated; cache: {cache.root})"
+        )
+    else:
+        print(f"\n{total} runs in {elapsed:.1f} s (cache bypassed)")
 
 
 def _print_catalogue() -> None:
     print("available experiments:")
     for name, (description, _fn) in EXPERIMENTS.items():
         print(f"  {name:8s} {description}")
+    print("\n  all      run every experiment (combine with --jobs N)")
+    print("  sweep    run one experiment over a parameter grid (--set key=v1,v2)")
 
 
 def _print_result(result: object) -> None:
@@ -99,12 +328,25 @@ def _print_result(result: object) -> None:
 
 
 def _summarize(value: object) -> str:
+    from repro.harness.experiment import ThroughputResult
+
+    if isinstance(value, ThroughputResult):
+        goodputs = value.sorted_goodputs_gbps()
+        return (
+            f"utilization={value.utilization:.3f}, "
+            f"goodput_gbps[min/median/max]="
+            f"{goodputs[0]:.2f}/{goodputs[len(goodputs) // 2]:.2f}/{goodputs[-1]:.2f}, "
+            f"trimmed={value.trimmed_packets}, dropped={value.dropped_packets}"
+        )
     if isinstance(value, float):
         return f"{value:.3f}"
     if isinstance(value, Mapping):
         return "{" + ", ".join(f"{k}: {_summarize(v)}" for k, v in value.items()) + "}"
     if isinstance(value, list) and len(value) > 8:
-        return f"[{len(value)} values, min={min(value):.2f}, max={max(value):.2f}]"
+        try:
+            return f"[{len(value)} values, min={min(value):.2f}, max={max(value):.2f}]"
+        except (TypeError, ValueError):  # non-scalar items, e.g. time series
+            return f"[{len(value)} items]"
     return str(value)
 
 

@@ -1,4 +1,4 @@
-"""Experiment harness: network builders, workload runners and metrics.
+"""Experiment harness: network builders, workload runners, metrics, sweeps.
 
 The harness is the layer the examples and benchmarks use.  It turns a
 (topology, transport) pair into a *network* object with a uniform
@@ -6,6 +6,13 @@ The harness is the layer the examples and benchmarks use.  It turns a
 random, incast, short-flows-over-background, closed-loop workloads), and
 computes the metrics the paper reports (flow completion times, utilization,
 goodput time series, CDFs).
+
+:mod:`repro.harness.sweep` is the execution layer: figures decompose into
+independent :class:`~repro.harness.sweep.RunSpec` units
+(:data:`repro.harness.figures.FIGURE_PLANS`) that can be fanned across
+worker processes and are memoized in a persistent on-disk result cache
+(``$REPRO_CACHE_DIR``, default ``~/.cache/repro``; ``REPRO_NO_CACHE=1``
+disables).  See ``python -m repro.cli all --jobs 4``.
 
 Network builders (one per protocol, all exposing ``build`` + ``create_flow``):
 
@@ -35,9 +42,24 @@ from repro.harness.baseline_networks import (
     PHostNetwork,
     TcpNetwork,
 )
-from repro.harness import experiment, metrics
+from repro.harness import experiment, metrics, sweep
+from repro.harness.sweep import (
+    Plan,
+    ResultCache,
+    RunSpec,
+    default_cache,
+    run_plan,
+    run_specs,
+)
 
 __all__ = [
+    "Plan",
+    "ResultCache",
+    "RunSpec",
+    "default_cache",
+    "run_plan",
+    "run_specs",
+    "sweep",
     "cdf_points",
     "percentile",
     "mean",

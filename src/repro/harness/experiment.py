@@ -4,6 +4,22 @@ Every function takes a *network* object (any of the ``*Network`` builders —
 NDP or a baseline) and drives it through one of the paper's workloads,
 returning plain result structures that the per-figure benchmarks format into
 the paper's tables.
+
+Public API at a glance:
+
+* workload starters — :func:`start_permutation`, :func:`start_random_matrix`,
+  :func:`start_incast`: create the flows of a traffic matrix and return
+  their handles (the simulation has not run yet);
+* drivers — :func:`measure_throughput` (fixed-duration goodput study,
+  returns a :class:`ThroughputResult`) and :func:`run_until_complete`
+  (completion study, returns an :class:`FctResult`);
+* liveness — :func:`liveness_report` / :func:`assert_all_complete`: the
+  conformance suite's completion + leak invariant over a set of flows.
+
+Result objects round-trip exactly through the persistent sweep cache
+(:mod:`repro.harness.sweep` registers :class:`ThroughputResult` with its
+codec), so figure generators can return them directly from cached or
+worker-process runs.
 """
 
 from __future__ import annotations

@@ -1,20 +1,35 @@
 """Data generators for every figure in the paper's evaluation.
 
 Each ``figure*`` function runs the corresponding experiment (at a scale
-suitable for a laptop — see EXPERIMENTS.md for the scale mapping) and
-returns plain dictionaries / lists that the benchmarks print as the paper's
-rows and the examples plot or tabulate.  Keeping them here, rather than
-inside the benchmark files, makes the experiments importable by library
-users.
+suitable for a laptop) and returns plain dictionaries / lists that the
+benchmarks print as the paper's rows and the examples plot or tabulate.
 
-All functions take explicit scale parameters with defaults chosen so the
-whole suite runs in a few minutes of wall-clock time.
+Every figure is decomposed into a :class:`~repro.harness.sweep.Plan`: a list
+of independent :class:`~repro.harness.sweep.RunSpec` units (one seeded
+simulator run each — a single point of a sweep, one protocol of a
+comparison) plus an ``assemble`` step that builds the public rows from the
+unit results.  The ``figure*_plan`` builders expose that decomposition; the
+``figure*`` generators are thin wrappers that execute their plan through
+:func:`~repro.harness.sweep.run_plan`, which consults the persistent result
+cache (``$REPRO_CACHE_DIR``, default ``~/.cache/repro``; disable with
+``REPRO_NO_CACHE=1``) and can fan the units across worker processes
+(``python -m repro.cli all --jobs 4``).
+
+Determinism: every unit is an independent module-level function that builds
+its own :class:`~repro.sim.eventlist.EventList` and seeds its own RNGs, so
+parallel, cached and cold serial executions return bit-identical results
+(see :mod:`repro.harness.sweep` for the normalization contract, and
+``tests/harness/test_sweep.py`` for the assertion).
+
+``FIGURE_PLANS`` maps every CLI experiment name to its plan builder; plan
+builders accept the same keyword arguments (and defaults) as their
+generator, which is what the CLI ``sweep`` subcommand overrides to run
+user-defined parameter grids.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import NdpConfig
@@ -28,6 +43,7 @@ from repro.harness.baseline_networks import (
     TcpNetwork,
 )
 from repro.harness.ndp_network import NdpNetwork
+from repro.harness.sweep import Plan, RunSpec, run_plan
 from repro.hosts.processing import (
     HostProcessingModel,
     JitteredPullPacer,
@@ -61,6 +77,47 @@ PROTOCOL_BUILDERS = {
 # Figure 2 — CP congestion collapse and phase effects
 # ---------------------------------------------------------------------------
 
+def figure2_plan(
+    flow_counts: Sequence[int] = (4, 16, 64, 128),
+    duration_ps: int = units.milliseconds(20),
+    packet_bytes: int = 9000,
+    seed: int = 1,
+) -> Plan:
+    """One spec per (switch kind, flow count) overload run."""
+    cases = [(kind, flows) for kind in ("NDP", "CP") for flows in flow_counts]
+    specs = [
+        RunSpec(
+            f"fig2[{kind},flows={flows}]",
+            _run_overload,
+            dict(
+                switch_kind=kind,
+                flows=flows,
+                duration_ps=duration_ps,
+                packet_bytes=packet_bytes,
+                seed=seed,
+            ),
+        )
+        for kind, flows in cases
+    ]
+
+    def assemble(results: List[List[float]]) -> List[Dict[str, float]]:
+        rows = []
+        for (kind, flows), shares in zip(cases, results):
+            shares = sorted(shares)
+            worst = shares[: max(1, len(shares) // 10)]
+            rows.append(
+                {
+                    "switch": kind,
+                    "flows": flows,
+                    "mean_percent": 100 * metrics.mean(shares),
+                    "worst10_percent": 100 * metrics.mean(worst),
+                }
+            )
+        return rows
+
+    return Plan(specs, assemble)
+
+
 def figure2_switch_overload(
     flow_counts: Sequence[int] = (4, 16, 64, 128),
     duration_ps: int = units.milliseconds(20),
@@ -75,24 +132,11 @@ def figure2_switch_overload(
     trim).  Returns one row per (switch type, flow count) with the mean and
     worst-10% fair-share percentage.
     """
-    rows = []
-    for switch_kind in ("NDP", "CP"):
-        for flows in flow_counts:
-            shares = _run_overload(switch_kind, flows, duration_ps, packet_bytes, seed)
-            shares.sort()
-            worst = shares[: max(1, len(shares) // 10)]
-            rows.append(
-                {
-                    "switch": switch_kind,
-                    "flows": flows,
-                    "mean_percent": 100 * metrics.mean(shares),
-                    "worst10_percent": 100 * metrics.mean(worst),
-                }
-            )
-    return rows
+    return run_plan(figure2_plan(flow_counts, duration_ps, packet_bytes, seed))
 
 
 def _run_overload(switch_kind, flows, duration_ps, packet_bytes, seed):
+    """Unit run: goodput fair-share fractions of *flows* senders on one port."""
     eventlist = EventList()
     config = NdpConfig(mtu_bytes=packet_bytes, header_queue_bytes=8 * packet_bytes)
     rng = random.Random(seed)
@@ -135,6 +179,39 @@ def _run_overload(switch_kind, flows, duration_ps, packet_bytes, seed):
 # Figure 4 — delivery latency CDF under permutation / random / incast
 # ---------------------------------------------------------------------------
 
+def figure4_plan(
+    k: int = 4,
+    permutation_flow_bytes: int = 3_000_000,
+    incast_senders: int = 15,
+    incast_flow_bytes: int = 135_000,
+    duration_ps: int = units.milliseconds(8),
+    seed: int = 1,
+) -> Plan:
+    """One spec per traffic matrix (permutation / random / incast)."""
+    matrices = ("permutation", "random", "incast")
+    specs = [
+        RunSpec(
+            f"fig4[{matrix}]",
+            _figure4_matrix,
+            dict(
+                matrix=matrix,
+                k=k,
+                permutation_flow_bytes=permutation_flow_bytes,
+                incast_senders=incast_senders,
+                incast_flow_bytes=incast_flow_bytes,
+                duration_ps=duration_ps,
+                seed=seed,
+            ),
+        )
+        for matrix in matrices
+    ]
+
+    def assemble(results: List[List[float]]) -> Dict[str, List[float]]:
+        return {matrix: samples for matrix, samples in zip(matrices, results)}
+
+    return Plan(specs, assemble)
+
+
 def figure4_latency_cdf(
     k: int = 4,
     permutation_flow_bytes: int = 3_000_000,
@@ -149,39 +226,48 @@ def figure4_latency_cdf(
     ``permutation``, ``random`` and ``incast`` (the paper's Figure 4, scaled
     from a 432-host to a ``k``-ary FatTree).
     """
-    results: Dict[str, List[float]] = {}
-    for matrix in ("permutation", "random", "incast"):
-        eventlist = EventList()
-        network = NdpNetwork.build(eventlist, FatTreeTopology, k=k, seed=seed)
-        rng = random.Random(seed)
-        if matrix == "permutation":
-            flows = [
-                network.create_flow(src, dst, permutation_flow_bytes,
-                                    record_packet_latencies=True)
-                for src, dst in _permutation(network, rng)
-            ]
-        elif matrix == "random":
-            from repro.workloads.traffic_matrices import random_pairs
+    return run_plan(
+        figure4_plan(
+            k, permutation_flow_bytes, incast_senders, incast_flow_bytes,
+            duration_ps, seed,
+        )
+    )
 
-            flows = [
-                network.create_flow(src, dst, permutation_flow_bytes,
-                                    record_packet_latencies=True)
-                for src, dst in random_pairs(network.topology.hosts(), rng)
-            ]
-        else:
-            flows = [
-                network.create_flow(src, 0, incast_flow_bytes,
-                                    record_packet_latencies=True)
-                for src in range(1, incast_senders + 1)
-            ]
-        eventlist.run(until=duration_ps)
-        samples = [
-            latency / units.MICROSECOND
-            for flow in flows
-            for latency in flow.src.packet_latencies_ps
+
+def _figure4_matrix(
+    matrix, k, permutation_flow_bytes, incast_senders, incast_flow_bytes,
+    duration_ps, seed,
+):
+    """Unit run: per-packet delivery latency samples (us) for one matrix."""
+    eventlist = EventList()
+    network = NdpNetwork.build(eventlist, FatTreeTopology, k=k, seed=seed)
+    rng = random.Random(seed)
+    if matrix == "permutation":
+        flows = [
+            network.create_flow(src, dst, permutation_flow_bytes,
+                                record_packet_latencies=True)
+            for src, dst in _permutation(network, rng)
         ]
-        results[matrix] = samples
-    return results
+    elif matrix == "random":
+        from repro.workloads.traffic_matrices import random_pairs
+
+        flows = [
+            network.create_flow(src, dst, permutation_flow_bytes,
+                                record_packet_latencies=True)
+            for src, dst in random_pairs(network.topology.hosts(), rng)
+        ]
+    else:
+        flows = [
+            network.create_flow(src, 0, incast_flow_bytes,
+                                record_packet_latencies=True)
+            for src in range(1, incast_senders + 1)
+        ]
+    eventlist.run(until=duration_ps)
+    return [
+        latency / units.MICROSECOND
+        for flow in flows
+        for latency in flow.src.packet_latencies_ps
+    ]
 
 
 def _permutation(network, rng):
@@ -194,6 +280,12 @@ def _permutation(network, rng):
 # Figure 8 — 1 KB RPC latency across stacks
 # ---------------------------------------------------------------------------
 
+def figure8_plan(samples: int = 500, seed: int = 1) -> Plan:
+    """A single spec: the host-model study shares one simulated network RTT."""
+    specs = [RunSpec("fig8", _figure8_run, dict(samples=samples, seed=seed))]
+    return Plan(specs, lambda results: results[0])
+
+
 def figure8_rpc_latency(samples: int = 500, seed: int = 1) -> Dict[str, Dict[str, float]]:
     """Median/p99 latency of a 1 KB RPC over NDP, TFO and TCP stacks.
 
@@ -203,6 +295,11 @@ def figure8_rpc_latency(samples: int = 500, seed: int = 1) -> Dict[str, Dict[str
     deep CPU sleep states, exactly mirroring the two groups of curves in
     Figure 8.
     """
+    return run_plan(figure8_plan(samples, seed))
+
+
+def _figure8_run(samples, seed):
+    """Unit run: median/p99 RPC latency for every host stack model."""
     network_rtt = _measure_rpc_network_rtt()
     rng = random.Random(seed)
     stacks = {
@@ -243,6 +340,44 @@ def _measure_rpc_network_rtt() -> int:
 # Figure 9 — 7:1 incast on the testbed topology, NDP vs TCP
 # ---------------------------------------------------------------------------
 
+def figure9_plan(
+    response_sizes: Sequence[int] = (10_000, 50_000, 100_000, 250_000, 500_000, 1_000_000),
+    seed: int = 1,
+) -> Plan:
+    """One spec per (protocol, response size) incast run."""
+    response_sizes = tuple(response_sizes)
+    cases = [
+        (protocol, size) for size in response_sizes for protocol in ("NDP", "TCP")
+    ]
+    specs = [
+        RunSpec(
+            f"fig9[{protocol},kb={size // 1000}]",
+            _figure9_point,
+            dict(protocol=protocol, response_bytes=size, seed=seed),
+        )
+        for protocol, size in cases
+    ]
+
+    def assemble(results: List[int]) -> List[Dict[str, float]]:
+        by_case = {case: value for case, value in zip(cases, results)}
+        rows = []
+        for size in response_sizes:
+            ideal = metrics.ideal_incast_completion_ps(
+                7, size, units.DEFAULT_LINK_RATE_BPS, 1500, 64
+            )
+            rows.append(
+                {
+                    "response_kb": size / 1000,
+                    "ndp_ms": by_case[("NDP", size)] / units.MILLISECOND,
+                    "tcp_ms": by_case[("TCP", size)] / units.MILLISECOND,
+                    "ideal_ms": ideal / units.MILLISECOND,
+                }
+            )
+        return rows
+
+    return Plan(specs, assemble)
+
+
 def figure9_testbed_incast(
     response_sizes: Sequence[int] = (10_000, 50_000, 100_000, 250_000, 500_000, 1_000_000),
     seed: int = 1,
@@ -254,32 +389,22 @@ def figure9_testbed_incast(
     MTU of the prototype.  Returns one row per response size with the
     completion time of the last flow and the theoretical optimum.
     """
-    rows = []
-    ndp_config = NdpConfig(mtu_bytes=1500, header_queue_bytes=8 * 1500)
-    tcp_config = TcpConfig()
-    for size in response_sizes:
-        ndp_time = _incast_last_fct(
-            NdpNetwork, size, senders=7, topology_cls=LeafSpineTopology,
-            topology_kwargs=dict(leaves=4, spines=2, hosts_per_leaf=2),
-            config=ndp_config, seed=seed,
-        )
-        tcp_time = _incast_last_fct(
-            TcpNetwork, size, senders=7, topology_cls=LeafSpineTopology,
-            topology_kwargs=dict(leaves=4, spines=2, hosts_per_leaf=2),
-            config=tcp_config, seed=seed,
-        )
-        ideal = metrics.ideal_incast_completion_ps(
-            7, size, units.DEFAULT_LINK_RATE_BPS, 1500, 64
-        )
-        rows.append(
-            {
-                "response_kb": size / 1000,
-                "ndp_ms": ndp_time / units.MILLISECOND,
-                "tcp_ms": tcp_time / units.MILLISECOND,
-                "ideal_ms": ideal / units.MILLISECOND,
-            }
-        )
-    return rows
+    return run_plan(figure9_plan(response_sizes, seed))
+
+
+def _figure9_point(protocol, response_bytes, seed):
+    """Unit run: last-flow completion (ps) of the 7:1 testbed incast."""
+    if protocol == "NDP":
+        network_cls: type = NdpNetwork
+        config = NdpConfig(mtu_bytes=1500, header_queue_bytes=8 * 1500)
+    else:
+        network_cls = TcpNetwork
+        config = TcpConfig()
+    return _incast_last_fct(
+        network_cls, response_bytes, senders=7, topology_cls=LeafSpineTopology,
+        topology_kwargs=dict(leaves=4, spines=2, hosts_per_leaf=2),
+        config=config, seed=seed,
+    )
 
 
 def _incast_last_fct(
@@ -311,6 +436,40 @@ def _incast_last_fct(
 # Figure 10 — receiver-side prioritization of a short flow
 # ---------------------------------------------------------------------------
 
+def figure10_plan(
+    short_bytes: int = 200_000,
+    long_bytes: int = 2_000_000,
+    long_flows: int = 6,
+    seed: int = 1,
+) -> Plan:
+    """One spec per scenario: idle, prioritized, not prioritized."""
+    cases = [
+        ("idle_us", False, False),
+        ("with_prioritization_us", True, True),
+        ("without_prioritization_us", True, False),
+    ]
+    specs = [
+        RunSpec(
+            f"fig10[{label}]",
+            _figure10_case,
+            dict(
+                background=background,
+                priority=priority,
+                short_bytes=short_bytes,
+                long_bytes=long_bytes,
+                long_flows=long_flows,
+                seed=seed,
+            ),
+        )
+        for label, background, priority in cases
+    ]
+
+    def assemble(results: List[float]) -> Dict[str, float]:
+        return {label: value for (label, _b, _p), value in zip(cases, results)}
+
+    return Plan(specs, assemble)
+
+
 def figure10_prioritization(
     short_bytes: int = 200_000,
     long_bytes: int = 2_000_000,
@@ -318,32 +477,55 @@ def figure10_prioritization(
     seed: int = 1,
 ) -> Dict[str, float]:
     """FCT of a short flow: idle, prioritized, and not prioritized (in us)."""
+    return run_plan(figure10_plan(short_bytes, long_bytes, long_flows, seed))
+
+
+def _figure10_case(background, priority, short_bytes, long_bytes, long_flows, seed):
+    """Unit run: FCT (us) of the short flow in one prioritization scenario."""
     config = NdpConfig(mtu_bytes=1500, header_queue_bytes=8 * 1500)
-
-    def run(background: bool, priority: bool) -> float:
-        eventlist = EventList()
-        network = NdpNetwork.build(
-            eventlist, SingleSwitchTopology, hosts=long_flows + 3, config=config, seed=seed
-        )
-        if background:
-            for src in range(2, 2 + long_flows):
-                network.create_flow(src, 0, long_bytes)
-        short = network.create_flow(1, 0, short_bytes, priority=priority)
-        eventlist.run(until=units.milliseconds(60))
-        if not short.complete:
-            raise RuntimeError("short flow did not complete")
-        return short.record.completion_time_ps() / units.MICROSECOND
-
-    return {
-        "idle_us": run(background=False, priority=False),
-        "with_prioritization_us": run(background=True, priority=True),
-        "without_prioritization_us": run(background=True, priority=False),
-    }
+    eventlist = EventList()
+    network = NdpNetwork.build(
+        eventlist, SingleSwitchTopology, hosts=long_flows + 3, config=config, seed=seed
+    )
+    if background:
+        for src in range(2, 2 + long_flows):
+            network.create_flow(src, 0, long_bytes)
+    short = network.create_flow(1, 0, short_bytes, priority=priority)
+    eventlist.run(until=units.milliseconds(60))
+    if not short.complete:
+        raise RuntimeError("short flow did not complete")
+    return short.record.completion_time_ps() / units.MICROSECOND
 
 
 # ---------------------------------------------------------------------------
 # Figures 11 / 12 / 13 — host-model fidelity experiments
 # ---------------------------------------------------------------------------
+
+def figure11_plan(
+    windows: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128),
+    flow_bytes: int = 20_000_000,
+    jittered: bool = False,
+    seed: int = 1,
+) -> Plan:
+    """One spec per initial-window setting."""
+    windows = tuple(windows)
+    specs = [
+        RunSpec(
+            f"fig11[iw={window}{',jitter' if jittered else ''}]",
+            _figure11_window,
+            dict(window=window, flow_bytes=flow_bytes, jittered=jittered, seed=seed),
+        )
+        for window in windows
+    ]
+
+    def assemble(results: List[float]) -> List[Dict[str, float]]:
+        return [
+            {"initial_window": window, "throughput_gbps": value}
+            for window, value in zip(windows, results)
+        ]
+
+    return Plan(specs, assemble)
+
 
 def figure11_initial_window_throughput(
     windows: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128),
@@ -352,35 +534,46 @@ def figure11_initial_window_throughput(
     seed: int = 1,
 ) -> List[Dict[str, float]]:
     """Throughput of a back-to-back transfer as a function of the IW."""
-    rows = []
-    for window in windows:
-        config = NdpConfig(initial_window_packets=window)
-        eventlist = EventList()
-        pacer_factory = None
-        if jittered:
-            jitter = PullSpacingJitter(rng=random.Random(seed + window))
+    return run_plan(figure11_plan(windows, flow_bytes, jittered, seed))
 
-            def pacer_factory(host, _evl=eventlist, _cfg=config, _jit=jitter):
-                return JitteredPullPacer(
-                    _evl, link_rate_bps=units.DEFAULT_LINK_RATE_BPS,
-                    mtu_bytes=_cfg.mtu_bytes, jitter=_jit,
-                )
 
-        network = NdpNetwork.build(
-            eventlist, BackToBackTopology, config=config, seed=seed,
-            pacer_factory=pacer_factory,
+def _figure11_window(window, flow_bytes, jittered, seed):
+    """Unit run: throughput (Gb/s) of one back-to-back transfer at one IW."""
+    config = NdpConfig(initial_window_packets=window)
+    eventlist = EventList()
+    pacer_factory = None
+    if jittered:
+        jitter = PullSpacingJitter(rng=random.Random(seed + window))
+
+        def pacer_factory(host, _evl=eventlist, _cfg=config, _jit=jitter):
+            return JitteredPullPacer(
+                _evl, link_rate_bps=units.DEFAULT_LINK_RATE_BPS,
+                mtu_bytes=_cfg.mtu_bytes, jitter=_jit,
+            )
+
+    network = NdpNetwork.build(
+        eventlist, BackToBackTopology, config=config, seed=seed,
+        pacer_factory=pacer_factory,
+    )
+    flow = network.create_flow(0, 1, flow_bytes)
+    eventlist.run(until=units.milliseconds(60))
+    return flow.record.throughput_bps() / 1e9 if flow.complete else 0.0
+
+
+def figure12_plan(
+    packet_sizes: Sequence[int] = (1500, 9000),
+    samples: int = 5000,
+    seed: int = 1,
+) -> Plan:
+    """A single (pure host-model) spec; exercises the non-string-key codec."""
+    specs = [
+        RunSpec(
+            "fig12",
+            _figure12_run,
+            dict(packet_sizes=tuple(packet_sizes), samples=samples, seed=seed),
         )
-        flow = network.create_flow(0, 1, flow_bytes)
-        eventlist.run(until=units.milliseconds(60))
-        rows.append(
-            {
-                "initial_window": window,
-                "throughput_gbps": flow.record.throughput_bps() / 1e9
-                if flow.complete
-                else 0.0,
-            }
-        )
-    return rows
+    ]
+    return Plan(specs, lambda results: results[0])
 
 
 def figure12_pull_spacing(
@@ -389,6 +582,11 @@ def figure12_pull_spacing(
     seed: int = 1,
 ) -> Dict[int, Dict[str, float]]:
     """Distribution of pull spacing for 1500 B and 9000 B packets (us)."""
+    return run_plan(figure12_plan(packet_sizes, samples, seed))
+
+
+def _figure12_run(packet_sizes, samples, seed):
+    """Unit run: pull-spacing percentiles for each packet size."""
     result = {}
     for size in packet_sizes:
         target = units.serialization_time_ps(size, units.DEFAULT_LINK_RATE_BPS)
@@ -405,27 +603,48 @@ def figure12_pull_spacing(
     return result
 
 
+def figure13_plan(
+    flow_sizes: Sequence[int] = (15_000, 30_000, 60_000, 90_000, 120_000),
+    senders: int = 32,
+    seed: int = 1,
+) -> Plan:
+    """One spec per (flow size, pacer kind) incast run."""
+    flow_sizes = tuple(flow_sizes)
+    cases = [(size, jittered) for size in flow_sizes for jittered in (False, True)]
+    specs = [
+        RunSpec(
+            f"fig13[kb={size // 1000}{',jitter' if jittered else ''}]",
+            _incast_fct_with_pacer,
+            dict(size=size, senders=senders, jittered=jittered, seed=seed),
+        )
+        for size, jittered in cases
+    ]
+
+    def assemble(results: List[int]) -> List[Dict[str, float]]:
+        by_case = {case: value for case, value in zip(cases, results)}
+        return [
+            {
+                "flow_kb": size / 1000,
+                "perfect_us": by_case[(size, False)] / units.MICROSECOND,
+                "experimental_us": by_case[(size, True)] / units.MICROSECOND,
+            }
+            for size in flow_sizes
+        ]
+
+    return Plan(specs, assemble)
+
+
 def figure13_incast_pull_jitter(
     flow_sizes: Sequence[int] = (15_000, 30_000, 60_000, 90_000, 120_000),
     senders: int = 32,
     seed: int = 1,
 ) -> List[Dict[str, float]]:
     """Incast completion with perfect vs experimentally-jittered pull spacing."""
-    rows = []
-    for size in flow_sizes:
-        perfect = _incast_fct_with_pacer(size, senders, jittered=False, seed=seed)
-        jittered = _incast_fct_with_pacer(size, senders, jittered=True, seed=seed)
-        rows.append(
-            {
-                "flow_kb": size / 1000,
-                "perfect_us": perfect / units.MICROSECOND,
-                "experimental_us": jittered / units.MICROSECOND,
-            }
-        )
-    return rows
+    return run_plan(figure13_plan(flow_sizes, senders, seed))
 
 
 def _incast_fct_with_pacer(size, senders, jittered, seed):
+    """Unit run: last-flow FCT (ps) of an incast with one pacer setting."""
     config = NdpConfig(mtu_bytes=1500, header_queue_bytes=8 * 1500)
     eventlist = EventList()
     pacer_factory = None
@@ -451,6 +670,31 @@ def _incast_fct_with_pacer(size, senders, jittered, seed):
 # Figure 14 — permutation throughput across protocols
 # ---------------------------------------------------------------------------
 
+def figure14_plan(
+    k: int = 4,
+    flow_bytes: int = 200_000_000,
+    duration_ps: int = units.milliseconds(2),
+    protocols: Optional[Sequence[str]] = None,
+    seed: int = 3,
+) -> Plan:
+    """One spec per protocol."""
+    protocols = list(protocols) if protocols is not None else list(PROTOCOL_BUILDERS)
+    specs = [
+        RunSpec(
+            f"fig14[{name}]",
+            _figure14_protocol,
+            dict(protocol=name, k=k, flow_bytes=flow_bytes,
+                 duration_ps=duration_ps, seed=seed),
+        )
+        for name in protocols
+    ]
+
+    def assemble(results) -> Dict[str, experiment.ThroughputResult]:
+        return {name: result for name, result in zip(protocols, results)}
+
+    return Plan(specs, assemble)
+
+
 def figure14_permutation_throughput(
     k: int = 4,
     flow_bytes: int = 200_000_000,
@@ -459,20 +703,51 @@ def figure14_permutation_throughput(
     seed: int = 3,
 ) -> Dict[str, experiment.ThroughputResult]:
     """Per-flow goodput of a permutation matrix for each protocol."""
-    protocols = list(protocols) if protocols is not None else list(PROTOCOL_BUILDERS)
-    results = {}
-    for name in protocols:
-        builder = PROTOCOL_BUILDERS[name]
-        eventlist = EventList()
-        network = builder.build(eventlist, FatTreeTopology, k=k, seed=seed)
-        flows = experiment.start_permutation(network, flow_bytes, rng=random.Random(seed))
-        results[name] = experiment.measure_throughput(network, flows, duration_ps)
-    return results
+    return run_plan(figure14_plan(k, flow_bytes, duration_ps, protocols, seed))
+
+
+def _figure14_protocol(protocol, k, flow_bytes, duration_ps, seed):
+    """Unit run: permutation :class:`ThroughputResult` for one protocol."""
+    builder = PROTOCOL_BUILDERS[protocol]
+    eventlist = EventList()
+    network = builder.build(eventlist, FatTreeTopology, k=k, seed=seed)
+    flows = experiment.start_permutation(network, flow_bytes, rng=random.Random(seed))
+    return experiment.measure_throughput(network, flows, duration_ps)
 
 
 # ---------------------------------------------------------------------------
 # Figure 15 — short-flow FCT with background load
 # ---------------------------------------------------------------------------
+
+def figure15_plan(
+    k: int = 4,
+    short_bytes: int = 90_000,
+    short_flows: int = 12,
+    background_bytes: int = 50_000_000,
+    background_flows_per_host: int = 2,
+    protocols: Optional[Sequence[str]] = None,
+    seed: int = 5,
+) -> Plan:
+    """One spec per protocol."""
+    protocols = list(protocols) if protocols is not None else list(PROTOCOL_BUILDERS)
+    specs = [
+        RunSpec(
+            f"fig15[{name}]",
+            _figure15_protocol,
+            dict(
+                protocol=name, k=k, short_bytes=short_bytes,
+                short_flows=short_flows, background_bytes=background_bytes,
+                background_flows_per_host=background_flows_per_host, seed=seed,
+            ),
+        )
+        for name in protocols
+    ]
+
+    def assemble(results: List[List[float]]) -> Dict[str, List[float]]:
+        return {name: fcts for name, fcts in zip(protocols, results)}
+
+    return Plan(specs, assemble)
+
 
 def figure15_short_flow_fct(
     k: int = 4,
@@ -489,41 +764,86 @@ def figure15_short_flow_fct(
     destinations, loading the fabric; the 90 KB transfers between hosts 0
     and 1 then measure the queueing those background flows induce.
     """
-    protocols = list(protocols) if protocols is not None else list(PROTOCOL_BUILDERS)
-    results: Dict[str, List[float]] = {}
-    for name in protocols:
-        builder = PROTOCOL_BUILDERS[name]
-        eventlist = EventList()
-        network = builder.build(eventlist, FatTreeTopology, k=k, seed=seed)
-        rng = random.Random(seed)
-        hosts = network.topology.hosts()
-        # the two probe hosts sit in different pods so their transfers cross
-        # the core, where the background flows' standing queues live
-        probe_a, probe_b = hosts[0], hosts[-1]
-        for src in hosts:
-            if src in (probe_a, probe_b):
-                continue
-            for _ in range(background_flows_per_host):
-                dst = src
-                while dst == src or dst in (probe_a, probe_b):
-                    dst = rng.choice(hosts)
-                network.create_flow(src, dst, background_bytes)
-        # let the background flows load the network before measuring
-        eventlist.run(until=units.milliseconds(1))
-        fcts = []
-        for index in range(short_flows):
-            src, dst = (probe_a, probe_b) if index % 2 == 0 else (probe_b, probe_a)
-            flow = network.create_flow(src, dst, short_bytes, start_time_ps=eventlist.now())
-            experiment.run_until_complete(network, [flow], units.milliseconds(400))
-            if flow.record.completed:
-                fcts.append(flow.record.completion_time_ps() / units.MICROSECOND)
-        results[name] = fcts
-    return results
+    return run_plan(
+        figure15_plan(
+            k, short_bytes, short_flows, background_bytes,
+            background_flows_per_host, protocols, seed,
+        )
+    )
+
+
+def _figure15_protocol(
+    protocol, k, short_bytes, short_flows, background_bytes,
+    background_flows_per_host, seed,
+):
+    """Unit run: probe-flow FCTs (us) under background load, one protocol."""
+    builder = PROTOCOL_BUILDERS[protocol]
+    eventlist = EventList()
+    network = builder.build(eventlist, FatTreeTopology, k=k, seed=seed)
+    rng = random.Random(seed)
+    hosts = network.topology.hosts()
+    # the two probe hosts sit in different pods so their transfers cross
+    # the core, where the background flows' standing queues live
+    probe_a, probe_b = hosts[0], hosts[-1]
+    for src in hosts:
+        if src in (probe_a, probe_b):
+            continue
+        for _ in range(background_flows_per_host):
+            dst = src
+            while dst == src or dst in (probe_a, probe_b):
+                dst = rng.choice(hosts)
+            network.create_flow(src, dst, background_bytes)
+    # let the background flows load the network before measuring
+    eventlist.run(until=units.milliseconds(1))
+    fcts = []
+    for index in range(short_flows):
+        src, dst = (probe_a, probe_b) if index % 2 == 0 else (probe_b, probe_a)
+        flow = network.create_flow(src, dst, short_bytes, start_time_ps=eventlist.now())
+        experiment.run_until_complete(network, [flow], units.milliseconds(400))
+        if flow.record.completed:
+            fcts.append(flow.record.completion_time_ps() / units.MICROSECOND)
+    return fcts
 
 
 # ---------------------------------------------------------------------------
 # Figure 16 — incast completion time vs number of senders
 # ---------------------------------------------------------------------------
+
+def figure16_plan(
+    sender_counts: Sequence[int] = (4, 8, 16, 32),
+    response_bytes: int = 450_000,
+    protocols: Optional[Sequence[str]] = None,
+    seed: int = 7,
+) -> Plan:
+    """One spec per (sender count, protocol) incast point."""
+    sender_counts = tuple(sender_counts)
+    protocols = list(protocols) if protocols is not None else list(PROTOCOL_BUILDERS)
+    cases = [(senders, name) for senders in sender_counts for name in protocols]
+    specs = [
+        RunSpec(
+            f"fig16[{name},senders={senders}]",
+            _figure16_point,
+            dict(protocol=name, senders=senders,
+                 response_bytes=response_bytes, seed=seed),
+        )
+        for senders, name in cases
+    ]
+
+    def assemble(results: List[int]) -> List[Dict[str, float]]:
+        by_case = {case: value for case, value in zip(cases, results)}
+        rows = []
+        for senders in sender_counts:
+            row: Dict[str, float] = {"senders": senders}
+            for name in protocols:
+                row[name] = by_case[(senders, name)] / units.MILLISECOND
+            row["ideal_ms"] = metrics.ideal_incast_completion_ps(
+                senders, response_bytes, units.DEFAULT_LINK_RATE_BPS, 9000, 64
+            ) / units.MILLISECOND
+            rows.append(row)
+        return rows
+
+    return Plan(specs, assemble)
+
 
 def figure16_incast_scaling(
     sender_counts: Sequence[int] = (4, 8, 16, 32),
@@ -532,27 +852,69 @@ def figure16_incast_scaling(
     seed: int = 7,
 ) -> List[Dict[str, float]]:
     """Last-flow completion time of an incast vs the number of senders (ms)."""
-    protocols = list(protocols) if protocols is not None else list(PROTOCOL_BUILDERS)
-    rows = []
-    for senders in sender_counts:
-        row: Dict[str, float] = {"senders": senders}
-        for name in protocols:
-            builder = PROTOCOL_BUILDERS[name]
-            last = _incast_last_fct(
-                builder, response_bytes, senders=senders, seed=seed,
-                timeout_ps=units.seconds(3),
-            )
-            row[name] = last / units.MILLISECOND
-        row["ideal_ms"] = metrics.ideal_incast_completion_ps(
-            senders, response_bytes, units.DEFAULT_LINK_RATE_BPS, 9000, 64
-        ) / units.MILLISECOND
-        rows.append(row)
-    return rows
+    return run_plan(figure16_plan(sender_counts, response_bytes, protocols, seed))
+
+
+def _figure16_point(protocol, senders, response_bytes, seed):
+    """Unit run: last-flow completion (ps) of one incast point."""
+    builder = PROTOCOL_BUILDERS[protocol]
+    return _incast_last_fct(
+        builder, response_bytes, senders=senders, seed=seed,
+        timeout_ps=units.seconds(3),
+    )
 
 
 # ---------------------------------------------------------------------------
 # Figure 17 — IW / buffer-size sensitivity
 # ---------------------------------------------------------------------------
+
+def figure17_plan(
+    windows: Sequence[int] = (5, 10, 15, 20, 30, 40),
+    configurations: Optional[Sequence[Tuple[str, int, int]]] = None,
+    k: int = 4,
+    flow_bytes: int = 200_000_000,
+    duration_ps: int = units.milliseconds(2),
+    seed: int = 9,
+) -> Plan:
+    """One spec per (buffer/MTU configuration, initial window) point."""
+    windows = tuple(windows)
+    if configurations is None:
+        configurations = (
+            ("6pkt 9K MTU", 6, 9000),
+            ("8pkt 9K MTU", 8, 9000),
+            ("10pkt 9K MTU", 10, 9000),
+            ("8pkt 1.5K MTU", 8, 1500),
+        )
+    configurations = tuple(tuple(c) for c in configurations)
+    cases = [
+        (label, buffer_packets, mtu, window)
+        for label, buffer_packets, mtu in configurations
+        for window in windows
+    ]
+    specs = [
+        RunSpec(
+            f"fig17[{label},iw={window}]",
+            _figure17_point,
+            dict(
+                buffer_packets=buffer_packets, mtu=mtu, window=window, k=k,
+                flow_bytes=flow_bytes, duration_ps=duration_ps, seed=seed,
+            ),
+        )
+        for label, buffer_packets, mtu, window in cases
+    ]
+
+    def assemble(results: List[float]) -> List[Dict[str, float]]:
+        return [
+            {
+                "configuration": label,
+                "initial_window": window,
+                "utilization_percent": 100 * utilization,
+            }
+            for (label, _bp, _mtu, window), utilization in zip(cases, results)
+        ]
+
+    return Plan(specs, assemble)
+
 
 def figure17_buffer_sensitivity(
     windows: Sequence[int] = (5, 10, 15, 20, 30, 40),
@@ -567,39 +929,58 @@ def figure17_buffer_sensitivity(
     ``configurations`` is a list of ``(label, buffer_packets, mtu_bytes)``;
     the default matches the four curves of Figure 17.
     """
-    if configurations is None:
-        configurations = (
-            ("6pkt 9K MTU", 6, 9000),
-            ("8pkt 9K MTU", 8, 9000),
-            ("10pkt 9K MTU", 10, 9000),
-            ("8pkt 1.5K MTU", 8, 1500),
-        )
-    rows = []
-    for label, buffer_packets, mtu in configurations:
-        for window in windows:
-            config = NdpConfig(
-                mtu_bytes=mtu,
-                data_queue_packets=buffer_packets,
-                header_queue_bytes=buffer_packets * mtu,
-                initial_window_packets=window,
-            )
-            eventlist = EventList()
-            network = NdpNetwork.build(eventlist, FatTreeTopology, k=k, config=config, seed=seed)
-            flows = experiment.start_permutation(network, flow_bytes, rng=random.Random(seed))
-            result = experiment.measure_throughput(network, flows, duration_ps)
-            rows.append(
-                {
-                    "configuration": label,
-                    "initial_window": window,
-                    "utilization_percent": 100 * result.utilization,
-                }
-            )
-    return rows
+    return run_plan(
+        figure17_plan(windows, configurations, k, flow_bytes, duration_ps, seed)
+    )
+
+
+def _figure17_point(buffer_packets, mtu, window, k, flow_bytes, duration_ps, seed):
+    """Unit run: permutation utilization for one buffer/MTU/IW setting."""
+    config = NdpConfig(
+        mtu_bytes=mtu,
+        data_queue_packets=buffer_packets,
+        header_queue_bytes=buffer_packets * mtu,
+        initial_window_packets=window,
+    )
+    eventlist = EventList()
+    network = NdpNetwork.build(eventlist, FatTreeTopology, k=k, config=config, seed=seed)
+    flows = experiment.start_permutation(network, flow_bytes, rng=random.Random(seed))
+    result = experiment.measure_throughput(network, flows, duration_ps)
+    return result.utilization
 
 
 # ---------------------------------------------------------------------------
 # Figure 19 — collateral damage of an incast on a nearby long flow
 # ---------------------------------------------------------------------------
+
+def figure19_plan(
+    protocols: Optional[Sequence[str]] = None,
+    incast_senders: int = 16,
+    incast_bytes: int = 900_000,
+    sample_period_ps: int = units.microseconds(250),
+    duration_ps: int = units.milliseconds(30),
+    seed: int = 11,
+) -> Plan:
+    """One spec per protocol."""
+    protocols = list(protocols) if protocols is not None else ["NDP", "DCTCP", "DCQCN"]
+    specs = [
+        RunSpec(
+            f"fig19[{name}]",
+            _figure19_protocol,
+            dict(
+                protocol=name, incast_senders=incast_senders,
+                incast_bytes=incast_bytes, sample_period_ps=sample_period_ps,
+                duration_ps=duration_ps, seed=seed,
+            ),
+        )
+        for name in protocols
+    ]
+
+    def assemble(results) -> Dict[str, Dict[str, List[Tuple[int, float]]]]:
+        return {name: series for name, series in zip(protocols, results)}
+
+    return Plan(specs, assemble)
+
 
 def figure19_collateral_damage(
     protocols: Optional[Sequence[str]] = None,
@@ -616,55 +997,89 @@ def figure19_collateral_damage(
     protocol, two time series (``long_flow`` and ``incast``) of goodput in
     bits/second.
     """
-    protocols = list(protocols) if protocols is not None else ["NDP", "DCTCP", "DCQCN"]
-    output: Dict[str, Dict[str, List[Tuple[int, float]]]] = {}
-    for name in protocols:
-        builder = PROTOCOL_BUILDERS[name]
-        eventlist = EventList()
-        network = builder.build(
-            eventlist, LeafSpineTopology,
-            leaves=2, spines=2, hosts_per_leaf=max(2, incast_senders // 2), seed=seed,
+    return run_plan(
+        figure19_plan(
+            protocols, incast_senders, incast_bytes, sample_period_ps,
+            duration_ps, seed,
         )
-        hosts = network.topology.hosts()
-        long_dst, incast_dst = 0, 1
-        remote_hosts = [h for h in hosts if network.topology.leaf_of_host(h) != network.topology.leaf_of_host(0)]
-        long_src = remote_hosts[0]
-        incast_srcs = [h for h in remote_hosts[1:]] + [
-            h for h in hosts if h not in (long_dst, incast_dst, long_src) and h not in remote_hosts
-        ]
-        incast_srcs = incast_srcs[:incast_senders]
-        long_flow = network.create_flow(long_src, long_dst, 10 * incast_bytes * incast_senders)
-        incast_start = units.milliseconds(5)
-        incast_flows = [
-            network.create_flow(src, incast_dst, incast_bytes, start_time_ps=incast_start)
-            for src in incast_srcs
-        ]
-        long_rate = RateEstimator()
-        incast_rate = RateEstimator()
-        long_series = TimeSeriesSampler(
-            eventlist, sample_period_ps,
-            lambda: long_rate.update(eventlist.now(), long_flow.record.bytes_delivered),
-        )
-        incast_series = TimeSeriesSampler(
-            eventlist, sample_period_ps,
-            lambda: incast_rate.update(
-                eventlist.now(), sum(f.record.bytes_delivered for f in incast_flows)
-            ),
-        )
-        long_series.start()
-        incast_series.start()
-        eventlist.run(until=duration_ps)
-        output[name] = {
-            "long_flow": long_series.samples,
-            "incast": incast_series.samples,
-            "pause_events": sum(q.stats.pause_events for q in network.topology.all_queues()),
-        }
-    return output
+    )
+
+
+def _figure19_protocol(
+    protocol, incast_senders, incast_bytes, sample_period_ps, duration_ps, seed
+):
+    """Unit run: long-flow / incast goodput time series for one protocol."""
+    builder = PROTOCOL_BUILDERS[protocol]
+    eventlist = EventList()
+    network = builder.build(
+        eventlist, LeafSpineTopology,
+        leaves=2, spines=2, hosts_per_leaf=max(2, incast_senders // 2), seed=seed,
+    )
+    hosts = network.topology.hosts()
+    long_dst, incast_dst = 0, 1
+    remote_hosts = [h for h in hosts if network.topology.leaf_of_host(h) != network.topology.leaf_of_host(0)]
+    long_src = remote_hosts[0]
+    incast_srcs = [h for h in remote_hosts[1:]] + [
+        h for h in hosts if h not in (long_dst, incast_dst, long_src) and h not in remote_hosts
+    ]
+    incast_srcs = incast_srcs[:incast_senders]
+    long_flow = network.create_flow(long_src, long_dst, 10 * incast_bytes * incast_senders)
+    incast_start = units.milliseconds(5)
+    incast_flows = [
+        network.create_flow(src, incast_dst, incast_bytes, start_time_ps=incast_start)
+        for src in incast_srcs
+    ]
+    long_rate = RateEstimator()
+    incast_rate = RateEstimator()
+    long_series = TimeSeriesSampler(
+        eventlist, sample_period_ps,
+        lambda: long_rate.update(eventlist.now(), long_flow.record.bytes_delivered),
+    )
+    incast_series = TimeSeriesSampler(
+        eventlist, sample_period_ps,
+        lambda: incast_rate.update(
+            eventlist.now(), sum(f.record.bytes_delivered for f in incast_flows)
+        ),
+    )
+    long_series.start()
+    incast_series.start()
+    eventlist.run(until=duration_ps)
+    return {
+        "long_flow": long_series.samples,
+        "incast": incast_series.samples,
+        "pause_events": sum(q.stats.pause_events for q in network.topology.all_queues()),
+    }
 
 
 # ---------------------------------------------------------------------------
 # Figure 20 — very large incasts: overhead and retransmission mechanisms
 # ---------------------------------------------------------------------------
+
+def figure20_plan(
+    sender_counts: Sequence[int] = (8, 32, 128, 256),
+    initial_windows: Sequence[int] = (1, 10, 23),
+    packets_per_flow: int = 30,
+    seed: int = 13,
+) -> Plan:
+    """One spec per (initial window, sender count) incast point."""
+    sender_counts = tuple(sender_counts)
+    initial_windows = tuple(initial_windows)
+    cases = [
+        (window, senders) for window in initial_windows for senders in sender_counts
+    ]
+    specs = [
+        RunSpec(
+            f"fig20[iw={window},senders={senders}]",
+            _figure20_point,
+            dict(
+                initial_window=window, senders=senders,
+                packets_per_flow=packets_per_flow, seed=seed,
+            ),
+        )
+        for window, senders in cases
+    ]
+    return Plan(specs, lambda results: list(results))
+
 
 def figure20_large_incast(
     sender_counts: Sequence[int] = (8, 32, 128, 256),
@@ -673,50 +1088,65 @@ def figure20_large_incast(
     seed: int = 13,
 ) -> List[Dict[str, float]]:
     """Completion-time overhead and retransmission mechanism vs incast size."""
-    rows = []
+    return run_plan(
+        figure20_plan(sender_counts, initial_windows, packets_per_flow, seed)
+    )
+
+
+def _figure20_point(initial_window, senders, packets_per_flow, seed):
+    """Unit run: one row (overhead + RTX mechanism split) of Figure 20."""
     mtu = 9000
     payload = mtu - 64
     flow_bytes = packets_per_flow * payload
-    for window in initial_windows:
-        config = NdpConfig(initial_window_packets=window)
-        for senders in sender_counts:
-            eventlist = EventList()
-            network = NdpNetwork.build(
-                eventlist, SingleSwitchTopology, hosts=senders + 1, config=config, seed=seed
-            )
-            flows = [
-                network.create_flow(src, 0, flow_bytes) for src in range(1, senders + 1)
-            ]
-            experiment.run_until_complete(network, flows, units.seconds(3))
-            finish = max(f.record.finish_time_ps or 0 for f in flows)
-            ideal = metrics.ideal_incast_completion_ps(
-                senders, flow_bytes, units.DEFAULT_LINK_RATE_BPS, mtu, 64
-            )
-            total_packets = senders * packets_per_flow
-            nack_rtx = sum(f.src.nacks_received for f in flows)
-            bounce_rtx = sum(f.src.bounces_received for f in flows)
-            rows.append(
-                {
-                    "initial_window": window,
-                    "senders": senders,
-                    "overhead_percent": 100 * (finish - ideal) / ideal,
-                    "rtx_per_packet_nack": nack_rtx / total_packets,
-                    "rtx_per_packet_bounce": bounce_rtx / total_packets,
-                    "all_complete": all(f.complete for f in flows),
-                }
-            )
-    return rows
+    config = NdpConfig(initial_window_packets=initial_window)
+    eventlist = EventList()
+    network = NdpNetwork.build(
+        eventlist, SingleSwitchTopology, hosts=senders + 1, config=config, seed=seed
+    )
+    flows = [
+        network.create_flow(src, 0, flow_bytes) for src in range(1, senders + 1)
+    ]
+    experiment.run_until_complete(network, flows, units.seconds(3))
+    finish = max(f.record.finish_time_ps or 0 for f in flows)
+    ideal = metrics.ideal_incast_completion_ps(
+        senders, flow_bytes, units.DEFAULT_LINK_RATE_BPS, mtu, 64
+    )
+    total_packets = senders * packets_per_flow
+    nack_rtx = sum(f.src.nacks_received for f in flows)
+    bounce_rtx = sum(f.src.bounces_received for f in flows)
+    return {
+        "initial_window": initial_window,
+        "senders": senders,
+        "overhead_percent": 100 * (finish - ideal) / ideal,
+        "rtx_per_packet_nack": nack_rtx / total_packets,
+        "rtx_per_packet_bounce": bounce_rtx / total_packets,
+        "all_complete": all(f.complete for f in flows),
+    }
 
 
 # ---------------------------------------------------------------------------
 # Figure 21 — sender-limited traffic
 # ---------------------------------------------------------------------------
 
+def figure21_plan(
+    duration_ps: int = units.milliseconds(4),
+    seed: int = 15,
+) -> Plan:
+    """A single spec: the five flows share one simulator."""
+    specs = [RunSpec("fig21", _figure21_run, dict(duration_ps=duration_ps, seed=seed))]
+    return Plan(specs, lambda results: results[0])
+
+
 def figure21_sender_limited(
     duration_ps: int = units.milliseconds(4),
     seed: int = 15,
 ) -> Dict[str, float]:
     """Throughput of A→{B,C,D,E} plus F→E (Gb/s), as in the Figure 21 table."""
+    return run_plan(figure21_plan(duration_ps, seed))
+
+
+def _figure21_run(duration_ps, seed):
+    """Unit run: the sender-limited throughput table."""
     eventlist = EventList()
     network = NdpNetwork.build(eventlist, SingleSwitchTopology, hosts=6, seed=seed)
     labels = {0: "A", 1: "B", 2: "C", 3: "D", 4: "E", 5: "F"}
@@ -738,6 +1168,33 @@ def figure21_sender_limited(
 # Figure 22 — asymmetry (a degraded core link)
 # ---------------------------------------------------------------------------
 
+def figure22_plan(
+    k: int = 4,
+    degraded_rate_bps: int = units.gbps(1),
+    flow_bytes: int = 200_000_000,
+    duration_ps: int = units.milliseconds(3),
+    seed: int = 17,
+) -> Plan:
+    """One spec per protocol/ablation case."""
+    cases = ["NDP", "NDP (no path penalty)", "MPTCP", "DCTCP"]
+    specs = [
+        RunSpec(
+            f"fig22[{case}]",
+            _figure22_case,
+            dict(
+                case=case, k=k, degraded_rate_bps=degraded_rate_bps,
+                flow_bytes=flow_bytes, duration_ps=duration_ps, seed=seed,
+            ),
+        )
+        for case in cases
+    ]
+
+    def assemble(results) -> Dict[str, experiment.ThroughputResult]:
+        return {case: result for case, result in zip(cases, results)}
+
+    return Plan(specs, assemble)
+
+
 def figure22_asymmetry(
     k: int = 4,
     degraded_rate_bps: int = units.gbps(1),
@@ -750,26 +1207,55 @@ def figure22_asymmetry(
     Compares NDP, NDP without the path-penalty scoreboard (the ablation),
     MPTCP and DCTCP.
     """
-    results = {}
-    cases = {
+    return run_plan(figure22_plan(k, degraded_rate_bps, flow_bytes, duration_ps, seed))
+
+
+def _figure22_case(case, k, degraded_rate_bps, flow_bytes, duration_ps, seed):
+    """Unit run: permutation throughput with a degraded core link, one case."""
+    builder, config = {
         "NDP": (NdpNetwork, NdpConfig()),
         "NDP (no path penalty)": (NdpNetwork, NdpConfig(path_penalty=False)),
         "MPTCP": (MptcpNetwork, None),
         "DCTCP": (DctcpNetwork, None),
-    }
-    for name, (builder, config) in cases.items():
-        eventlist = EventList()
-        kwargs = {"config": config} if config is not None else {}
-        network = builder.build(eventlist, FatTreeTopology, k=k, seed=seed, **kwargs)
-        network.topology.degrade_core_link(core=0, pod=k - 1, new_rate_bps=degraded_rate_bps)
-        flows = experiment.start_permutation(network, flow_bytes, rng=random.Random(seed))
-        results[name] = experiment.measure_throughput(network, flows, duration_ps)
-    return results
+    }[case]
+    eventlist = EventList()
+    kwargs = {"config": config} if config is not None else {}
+    network = builder.build(eventlist, FatTreeTopology, k=k, seed=seed, **kwargs)
+    network.topology.degrade_core_link(core=0, pod=k - 1, new_rate_bps=degraded_rate_bps)
+    flows = experiment.start_permutation(network, flow_bytes, rng=random.Random(seed))
+    return experiment.measure_throughput(network, flows, duration_ps)
 
 
 # ---------------------------------------------------------------------------
 # Figure 23 — oversubscribed fabric, Facebook web workload
 # ---------------------------------------------------------------------------
+
+def figure23_plan(
+    k: int = 4,
+    oversubscription: float = 4.0,
+    connections_per_host: Sequence[int] = (2, 5),
+    duration_ps: int = units.milliseconds(40),
+    protocols: Optional[Sequence[str]] = None,
+    seed: int = 19,
+) -> Plan:
+    """One spec per (protocol, load level)."""
+    connections_per_host = tuple(connections_per_host)
+    protocols = list(protocols) if protocols is not None else ["NDP", "DCTCP"]
+    cases = [(name, load) for name in protocols for load in connections_per_host]
+    specs = [
+        RunSpec(
+            f"fig23[{name},load={load}]",
+            _figure23_point,
+            dict(
+                protocol=name, connections_per_host=load, k=k,
+                oversubscription=oversubscription, duration_ps=duration_ps,
+                seed=seed,
+            ),
+        )
+        for name, load in cases
+    ]
+    return Plan(specs, lambda results: list(results))
+
 
 def figure23_oversubscribed_web(
     k: int = 4,
@@ -785,50 +1271,87 @@ def figure23_oversubscribed_web(
     (protocol, load level) with median/p99 FCT in us, completed flow count
     and the fraction of packets trimmed at ToR uplinks (NDP only).
     """
-    protocols = list(protocols) if protocols is not None else ["NDP", "DCTCP"]
+    return run_plan(
+        figure23_plan(
+            k, oversubscription, connections_per_host, duration_ps, protocols, seed
+        )
+    )
+
+
+def _figure23_point(protocol, connections_per_host, k, oversubscription, duration_ps, seed):
+    """Unit run: one (protocol, load) row of the web-workload table."""
+    builder = PROTOCOL_BUILDERS[protocol]
     ndp_config = NdpConfig(mtu_bytes=1500, header_queue_bytes=8 * 1500)
-    rows = []
-    for name in protocols:
-        builder = PROTOCOL_BUILDERS[name]
-        for load in connections_per_host:
-            eventlist = EventList()
-            kwargs = {"config": ndp_config} if name == "NDP" else {}
-            network = builder.build(
-                eventlist, FatTreeTopology, k=k,
-                oversubscription=oversubscription, seed=seed, **kwargs,
-            )
-            generator = ClosedLoopGenerator(
-                eventlist,
-                network,
-                hosts=network.topology.hosts(),
-                flow_sizes=FacebookWebFlowSizes(),
-                connections_per_host=load,
-                think_time_ps=units.milliseconds(1),
-                rng=random.Random(seed),
-            )
-            generator.start()
-            eventlist.run(until=duration_ps)
-            fcts = [
-                record.completion_time_ps() / units.MICROSECOND
-                for record in generator.completed_records()
-            ]
-            trimmed = network.topology.total_trimmed()
-            rows.append(
-                {
-                    "protocol": name,
-                    "connections_per_host": load,
-                    "completed_flows": len(fcts),
-                    "median_fct_us": metrics.percentile(fcts, 0.5) if fcts else None,
-                    "p99_fct_us": metrics.percentile(fcts, 0.99) if fcts else None,
-                    "packets_trimmed": trimmed,
-                }
-            )
-    return rows
+    eventlist = EventList()
+    kwargs = {"config": ndp_config} if protocol == "NDP" else {}
+    network = builder.build(
+        eventlist, FatTreeTopology, k=k,
+        oversubscription=oversubscription, seed=seed, **kwargs,
+    )
+    generator = ClosedLoopGenerator(
+        eventlist,
+        network,
+        hosts=network.topology.hosts(),
+        flow_sizes=FacebookWebFlowSizes(),
+        connections_per_host=connections_per_host,
+        think_time_ps=units.milliseconds(1),
+        rng=random.Random(seed),
+    )
+    generator.start()
+    eventlist.run(until=duration_ps)
+    fcts = [
+        record.completion_time_ps() / units.MICROSECOND
+        for record in generator.completed_records()
+    ]
+    trimmed = network.topology.total_trimmed()
+    return {
+        "protocol": protocol,
+        "connections_per_host": connections_per_host,
+        "completed_flows": len(fcts),
+        "median_fct_us": metrics.percentile(fcts, 0.5) if fcts else None,
+        "p99_fct_us": metrics.percentile(fcts, 0.99) if fcts else None,
+        "packets_trimmed": trimmed,
+    }
 
 
 # ---------------------------------------------------------------------------
 # §6.2 text — pHost comparison and uplink-trimming load-balancing study
 # ---------------------------------------------------------------------------
+
+def phost_plan(
+    k: int = 4,
+    incast_senders: int = 24,
+    incast_bytes: int = 270_000,
+    permutation_bytes: int = 100_000_000,
+    duration_ps: int = units.milliseconds(2),
+    seed: int = 21,
+) -> Plan:
+    """One spec per protocol (each runs its incast + permutation pair)."""
+    cases = ["NDP", "pHost"]
+    specs = [
+        RunSpec(
+            f"phost[{name}]",
+            _phost_case,
+            dict(
+                protocol=name, k=k, incast_senders=incast_senders,
+                incast_bytes=incast_bytes, permutation_bytes=permutation_bytes,
+                duration_ps=duration_ps, seed=seed,
+            ),
+        )
+        for name in cases
+    ]
+
+    def assemble(results: List[Dict[str, float]]) -> Dict[str, float]:
+        merged: Dict[str, float] = {}
+        for name, case_result in zip(cases, results):
+            merged[f"{name}_incast_ms"] = case_result["incast_ms"]
+            merged[f"{name}_permutation_utilization"] = case_result[
+                "permutation_utilization"
+            ]
+        return merged
+
+    return Plan(specs, assemble)
+
 
 def phost_comparison(
     k: int = 4,
@@ -839,19 +1362,54 @@ def phost_comparison(
     seed: int = 21,
 ) -> Dict[str, float]:
     """NDP vs pHost: incast completion (ms) and permutation utilization."""
-    results = {}
-    for name, builder in (("NDP", NdpNetwork), ("pHost", PHostNetwork)):
-        last = _incast_last_fct(
-            builder, incast_bytes, senders=incast_senders, seed=seed,
-            timeout_ps=units.seconds(3),
+    return run_plan(
+        phost_plan(
+            k, incast_senders, incast_bytes, permutation_bytes, duration_ps, seed
         )
-        eventlist = EventList()
-        network = builder.build(eventlist, FatTreeTopology, k=k, seed=seed)
-        flows = experiment.start_permutation(network, permutation_bytes, rng=random.Random(seed))
-        throughput = experiment.measure_throughput(network, flows, duration_ps)
-        results[f"{name}_incast_ms"] = last / units.MILLISECOND
-        results[f"{name}_permutation_utilization"] = throughput.utilization
-    return results
+    )
+
+
+def _phost_case(
+    protocol, k, incast_senders, incast_bytes, permutation_bytes, duration_ps, seed
+):
+    """Unit run: incast completion + permutation utilization for one stack."""
+    builder = {"NDP": NdpNetwork, "pHost": PHostNetwork}[protocol]
+    last = _incast_last_fct(
+        builder, incast_bytes, senders=incast_senders, seed=seed,
+        timeout_ps=units.seconds(3),
+    )
+    eventlist = EventList()
+    network = builder.build(eventlist, FatTreeTopology, k=k, seed=seed)
+    flows = experiment.start_permutation(network, permutation_bytes, rng=random.Random(seed))
+    throughput = experiment.measure_throughput(network, flows, duration_ps)
+    return {
+        "incast_ms": last / units.MILLISECOND,
+        "permutation_utilization": throughput.utilization,
+    }
+
+
+def uplink_trimming_plan(
+    k: int = 4,
+    flow_bytes: int = 100_000_000,
+    duration_ps: int = units.milliseconds(2),
+    seed: int = 23,
+) -> Plan:
+    """One spec per path-selection mode."""
+    modes = ["permutation", "random"]
+    specs = [
+        RunSpec(
+            f"uplinks[{mode}]",
+            _uplink_mode,
+            dict(mode=mode, k=k, flow_bytes=flow_bytes,
+                 duration_ps=duration_ps, seed=seed),
+        )
+        for mode in modes
+    ]
+
+    def assemble(results) -> Dict[str, Dict[str, float]]:
+        return {mode: result for mode, result in zip(modes, results)}
+
+    return Plan(specs, assemble)
 
 
 def uplink_trimming_study(
@@ -866,26 +1424,47 @@ def uplink_trimming_study(
     sender-driven path permutation almost nothing is trimmed above the ToR,
     whereas per-packet random path choice (switch ECMP) trims noticeably more.
     """
-    results = {}
-    for mode in ("permutation", "random"):
-        config = NdpConfig(path_selection_mode=mode)
-        eventlist = EventList()
-        network = NdpNetwork.build(eventlist, FatTreeTopology, k=k, config=config, seed=seed)
-        flows = experiment.start_permutation(network, flow_bytes, rng=random.Random(seed))
-        eventlist.run(until=duration_ps)
-        uplink_trims = sum(q.stats.packets_trimmed for q in network.topology.uplink_queues())
-        total_forwarded = sum(
-            q.stats.packets_forwarded for q in network.topology.uplink_queues()
+    return run_plan(uplink_trimming_plan(k, flow_bytes, duration_ps, seed))
+
+
+def _uplink_mode(mode, k, flow_bytes, duration_ps, seed):
+    """Unit run: uplink trim statistics for one path-selection mode."""
+    config = NdpConfig(path_selection_mode=mode)
+    eventlist = EventList()
+    network = NdpNetwork.build(eventlist, FatTreeTopology, k=k, config=config, seed=seed)
+    flows = experiment.start_permutation(network, flow_bytes, rng=random.Random(seed))
+    eventlist.run(until=duration_ps)
+    uplink_trims = sum(q.stats.packets_trimmed for q in network.topology.uplink_queues())
+    total_forwarded = sum(
+        q.stats.packets_forwarded for q in network.topology.uplink_queues()
+    )
+    return {
+        "uplink_trimmed": uplink_trims,
+        "uplink_forwarded": total_forwarded,
+        "uplink_trim_fraction": uplink_trims / max(total_forwarded, 1),
+        "utilization": experiment.measure_throughput(
+            network, flows, duration_ps, run=False
+        ).utilization,
+    }
+
+
+def scaling_plan(
+    ks: Sequence[int] = (4, 6, 8),
+    flow_bytes: int = 200_000_000,
+    duration_ps: int = units.milliseconds(2),
+    seed: int = 25,
+) -> Plan:
+    """One spec per topology size."""
+    ks = tuple(ks)
+    specs = [
+        RunSpec(
+            f"scaling[k={k}]",
+            _scaling_point,
+            dict(k=k, flow_bytes=flow_bytes, duration_ps=duration_ps, seed=seed),
         )
-        results[mode] = {
-            "uplink_trimmed": uplink_trims,
-            "uplink_forwarded": total_forwarded,
-            "uplink_trim_fraction": uplink_trims / max(total_forwarded, 1),
-            "utilization": experiment.measure_throughput(
-                network, flows, duration_ps, run=False
-            ).utilization,
-        }
-    return results
+        for k in ks
+    ]
+    return Plan(specs, lambda results: list(results))
 
 
 def scaling_utilization(
@@ -895,17 +1474,45 @@ def scaling_utilization(
     seed: int = 25,
 ) -> List[Dict[str, float]]:
     """NDP permutation utilization as the FatTree grows (§6.2 'Larger topologies')."""
-    rows = []
-    for k in ks:
-        eventlist = EventList()
-        network = NdpNetwork.build(eventlist, FatTreeTopology, k=k, seed=seed)
-        flows = experiment.start_permutation(network, flow_bytes, rng=random.Random(seed))
-        result = experiment.measure_throughput(network, flows, duration_ps)
-        rows.append(
-            {
-                "k": k,
-                "hosts": network.topology.host_count,
-                "utilization_percent": 100 * result.utilization,
-            }
-        )
-    return rows
+    return run_plan(scaling_plan(ks, flow_bytes, duration_ps, seed))
+
+
+def _scaling_point(k, flow_bytes, duration_ps, seed):
+    """Unit run: one row of the topology-scaling utilization table."""
+    eventlist = EventList()
+    network = NdpNetwork.build(eventlist, FatTreeTopology, k=k, seed=seed)
+    flows = experiment.start_permutation(network, flow_bytes, rng=random.Random(seed))
+    result = experiment.measure_throughput(network, flows, duration_ps)
+    return {
+        "k": k,
+        "hosts": network.topology.host_count,
+        "utilization_percent": 100 * result.utilization,
+    }
+
+
+#: experiment name (as used by ``python -m repro.cli``) -> plan builder.
+#: Every builder accepts the same keyword arguments as its generator and
+#: returns a :class:`~repro.harness.sweep.Plan`; this is the registry the
+#: CLI uses to fan whole multi-figure runs across one worker pool.
+FIGURE_PLANS = {
+    "fig2": figure2_plan,
+    "fig4": figure4_plan,
+    "fig8": figure8_plan,
+    "fig9": figure9_plan,
+    "fig10": figure10_plan,
+    "fig11": figure11_plan,
+    "fig12": figure12_plan,
+    "fig13": figure13_plan,
+    "fig14": figure14_plan,
+    "fig15": figure15_plan,
+    "fig16": figure16_plan,
+    "fig17": figure17_plan,
+    "fig19": figure19_plan,
+    "fig20": figure20_plan,
+    "fig21": figure21_plan,
+    "fig22": figure22_plan,
+    "fig23": figure23_plan,
+    "phost": phost_plan,
+    "scaling": scaling_plan,
+    "uplinks": uplink_trimming_plan,
+}

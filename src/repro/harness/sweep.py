@@ -1,0 +1,549 @@
+"""Parallel sweep engine with a persistent on-disk result cache.
+
+This module is the execution layer underneath :mod:`repro.harness.figures`
+and ``python -m repro.cli``: every experiment is decomposed into independent
+:class:`RunSpec` units (one simulator run each), which can be
+
+* fanned across worker processes (``run_specs(specs, jobs=N)``), and
+* memoized on disk across *processes* (:class:`ResultCache`), so a CI run,
+  a benchmark session and an interactive CLI call all reuse each other's
+  simulations.
+
+Determinism contract
+--------------------
+A cached or parallel run must be **bit-identical** to a cold serial run.
+Two mechanisms guarantee this:
+
+1. every unit run is an independent, seeded, module-level function — no
+   state is shared between specs, so process boundaries cannot reorder
+   anything inside a simulation;
+2. every result (cold, cached or parallel) is normalized through the same
+   JSON codec (:func:`encode_result` / :func:`decode_result`) before being
+   returned, so the value a caller sees never depends on whether it came
+   from a fresh simulation, a worker process or a disk record.  The codec
+   round-trips Python scalars exactly (floats via shortest-repr JSON) and
+   tags tuples, non-string dict keys and known dataclasses so decoding
+   restores the original types.
+
+Cache key scheme
+----------------
+A record's key is ``sha256(experiment \\x00 canonical-kwargs \\x00
+code-fingerprint)`` where
+
+* ``experiment`` is the spec's stable name (e.g. ``"fig16[NDP,senders=8]"``),
+* ``canonical-kwargs`` is the sorted-key JSON encoding of the spec's kwargs
+  (tuples and int keys tagged, so equal kwargs always serialize equally),
+* ``code-fingerprint`` is a SHA-256 over every ``*.py`` source file of the
+  installed ``repro`` package — **any** code change invalidates the whole
+  cache, which is the conservative choice for a simulator where distant
+  modules (queues, pacers, timers) all affect results.
+
+Records are one JSON file per key under ``$REPRO_CACHE_DIR`` (default
+``~/.cache/repro``).  Writers stage to a unique temp file and ``os.replace``
+it into place, so concurrent writers — parallel workers, two CI jobs on a
+shared volume — can never interleave bytes; readers treat any unreadable or
+structurally invalid record as a miss and delete it.  Set ``REPRO_NO_CACHE=1``
+(or pass ``cache=None`` / ``--no-cache``) to bypass the cache entirely; perf
+benchmarks (``benchmarks/perf/``) never consult it.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import hashlib
+import json
+import multiprocessing
+import os
+import tempfile
+from dataclasses import dataclass, field, fields, is_dataclass
+from typing import Any, Callable, Dict, List, Mapping, NamedTuple, Optional, Sequence, Tuple
+
+__all__ = [
+    "RunSpec",
+    "Plan",
+    "ResultCache",
+    "run_specs",
+    "run_plan",
+    "default_cache",
+    "encode_result",
+    "decode_result",
+    "code_fingerprint",
+]
+
+#: environment variable overriding the cache directory
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: environment variable disabling the persistent cache entirely
+NO_CACHE_ENV = "REPRO_NO_CACHE"
+
+_TYPE_TAG = "__repro__"
+
+
+# ---------------------------------------------------------------------------
+# Result codec — exact JSON round-tripping for experiment results
+# ---------------------------------------------------------------------------
+
+def _registered_dataclasses() -> Dict[str, type]:
+    # imported lazily: experiment imports metrics, not the other way round
+    from repro.harness.experiment import ThroughputResult
+
+    return {"ThroughputResult": ThroughputResult}
+
+
+def encode_result(value: Any) -> Any:
+    """Convert *value* into a JSON-serializable structure, reversibly.
+
+    Supported: JSON scalars, lists, tuples, dicts with arbitrary scalar
+    keys, and the registered result dataclasses (currently
+    :class:`~repro.harness.experiment.ThroughputResult`).  Anything else
+    raises ``TypeError`` — unit runs are required to return simple data.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, tuple):
+        return {_TYPE_TAG: "tuple", "items": [encode_result(v) for v in value]}
+    if isinstance(value, list):
+        return [encode_result(v) for v in value]
+    if isinstance(value, dict):
+        plain = all(isinstance(k, str) for k in value) and _TYPE_TAG not in value
+        if plain:
+            return {k: encode_result(v) for k, v in value.items()}
+        return {
+            _TYPE_TAG: "dict",
+            "items": [[encode_result(k), encode_result(v)] for k, v in value.items()],
+        }
+    if is_dataclass(value) and not isinstance(value, type):
+        name = type(value).__name__
+        if name in _registered_dataclasses():
+            return {
+                _TYPE_TAG: name,
+                "fields": {
+                    f.name: encode_result(getattr(value, f.name))
+                    for f in fields(value)
+                },
+            }
+    raise TypeError(
+        f"experiment results must be JSON-codable data, got {type(value).__name__}"
+    )
+
+
+def decode_result(value: Any) -> Any:
+    """Inverse of :func:`encode_result`."""
+    if isinstance(value, list):
+        return [decode_result(v) for v in value]
+    if isinstance(value, dict):
+        tag = value.get(_TYPE_TAG)
+        if tag is None:
+            return {k: decode_result(v) for k, v in value.items()}
+        if tag == "tuple":
+            return tuple(decode_result(v) for v in value["items"])
+        if tag == "dict":
+            return {decode_result(k): decode_result(v) for k, v in value["items"]}
+        cls = _registered_dataclasses().get(tag)
+        if cls is not None:
+            return cls(**{k: decode_result(v) for k, v in value["fields"].items()})
+        raise ValueError(f"unknown result tag {tag!r}")
+    return value
+
+
+def normalize_result(value: Any) -> Any:
+    """Round-trip *value* through the codec (what a cache hit would return)."""
+    return decode_result(json.loads(json.dumps(encode_result(value))))
+
+
+def canonical_params(params: Mapping[str, Any]) -> str:
+    """Deterministic JSON string for a kwargs mapping (cache-key component)."""
+    return json.dumps(encode_result(dict(params)), sort_keys=True, separators=(",", ":"))
+
+
+# ---------------------------------------------------------------------------
+# Code fingerprint — any source change invalidates every record
+# ---------------------------------------------------------------------------
+
+_fingerprint_cache: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over every ``*.py`` file of the ``repro`` package.
+
+    Computed once per process.  Keying cache records on this hash means a
+    record can only ever be replayed against the exact code that produced
+    it; there is no staleness to reason about.
+    """
+    global _fingerprint_cache
+    if _fingerprint_cache is None:
+        import repro
+
+        package_root = os.path.dirname(os.path.abspath(repro.__file__))
+        digest = hashlib.sha256()
+        for directory, _subdirs, filenames in sorted(os.walk(package_root)):
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(directory, filename)
+                digest.update(os.path.relpath(path, package_root).encode())
+                digest.update(b"\x00")
+                with open(path, "rb") as fh:
+                    digest.update(fh.read())
+                digest.update(b"\x00")
+        _fingerprint_cache = digest.hexdigest()
+    return _fingerprint_cache
+
+
+# ---------------------------------------------------------------------------
+# RunSpec / Plan — the unit-of-work contract
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent, seeded experiment run.
+
+    ``fn`` must be a module-level callable (so worker processes can import
+    it) and ``kwargs`` must be JSON-codable (so the cache key is stable);
+    calling ``fn(**kwargs)`` must be deterministic and return codec-friendly
+    data.  ``experiment`` names the run for cache records and progress
+    output — include the varying parameters (e.g. ``"fig17[8pkt,iw=10]"``)
+    so records are self-describing.
+    """
+
+    experiment: str
+    fn: Callable[..., Any]
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+    def cache_key(self, fingerprint: Optional[str] = None) -> str:
+        """Digest identifying this run (see the module docstring)."""
+        material = "\x00".join(
+            [self.experiment, canonical_params(self.kwargs),
+             fingerprint if fingerprint is not None else code_fingerprint()]
+        )
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def execute(self) -> Any:
+        """Run the experiment (no cache involvement)."""
+        return self.fn(**self.kwargs)
+
+
+class Plan(NamedTuple):
+    """A figure decomposed into independent specs plus an assembly step.
+
+    ``assemble`` receives the spec results *in spec order* and builds the
+    figure's public result structure (rows, mapping, …).
+    """
+
+    specs: List[RunSpec]
+    assemble: Callable[[List[Any]], Any]
+
+
+# ---------------------------------------------------------------------------
+# Persistent cache
+# ---------------------------------------------------------------------------
+
+class ResultCache:
+    """Concurrent-writer-safe, per-record JSON cache of experiment results.
+
+    One file per record under *root* (``$REPRO_CACHE_DIR`` or
+    ``~/.cache/repro``).  All I/O failures degrade to cache misses — a
+    read-only or corrupt cache never breaks an experiment, it only makes
+    it slower.  ``hits`` / ``misses`` / ``stores`` count this instance's
+    traffic (used by tests and the CLI summary).
+    """
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        if root is None:
+            root = os.environ.get(CACHE_DIR_ENV) or os.path.join(
+                os.path.expanduser("~"), ".cache", "repro"
+            )
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.json")
+
+    def get(self, experiment: str, params: Mapping[str, Any]) -> Tuple[bool, Any]:
+        """Return ``(hit, decoded_result)``; corrupt records become misses."""
+        key = self._record_key(experiment, params)
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                record = json.load(fh)
+            result = record["result"]  # KeyError -> corrupt
+            if record["experiment"] != experiment:
+                raise ValueError("record/experiment mismatch")
+            decoded = decode_result(result)
+        except FileNotFoundError:
+            self.misses += 1
+            return False, None
+        except (OSError, ValueError, KeyError, TypeError):
+            # unreadable or structurally invalid: drop it and treat as a miss
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            self.misses += 1
+            return False, None
+        try:
+            os.utime(path)  # keep hot records young for the age-based prune
+        except OSError:
+            pass
+        self.hits += 1
+        return True, decoded
+
+    def put(self, experiment: str, params: Mapping[str, Any], result: Any) -> None:
+        """Atomically persist *result*; failures are silently ignored."""
+        self.put_encoded(experiment, params, encode_result(result))
+
+    def put_encoded(
+        self, experiment: str, params: Mapping[str, Any], encoded_result: Any
+    ) -> None:
+        """Like :meth:`put` for a result already passed through the codec.
+
+        Lets the sweep engine write worker payloads straight to disk
+        without re-encoding multi-thousand-sample figures a second time.
+        """
+        key = self._record_key(experiment, params)
+        record = {
+            "experiment": experiment,
+            "kwargs": encode_result(dict(params)),
+            "fingerprint": code_fingerprint(),
+            "result": encoded_result,
+        }
+        try:
+            os.makedirs(self.root, exist_ok=True)
+            fd, staging = tempfile.mkstemp(
+                prefix=f"{key}.tmp.", dir=self.root, text=True
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(record, fh)
+                os.replace(staging, self._path(key))
+            except BaseException:
+                try:
+                    os.remove(staging)
+                except OSError:
+                    pass
+                raise
+        except (OSError, TypeError):
+            return
+        self.stores += 1
+
+    # Maintenance ----------------------------------------------------------
+
+    #: records untouched for this long are assumed orphaned (their code
+    #: fingerprint no longer exists) and are reclaimed by :meth:`prune`
+    PRUNE_TTL_SECONDS = 30 * 24 * 3600
+    #: how often :meth:`maybe_prune` actually walks the directory
+    PRUNE_INTERVAL_SECONDS = 24 * 3600
+
+    def prune(self, ttl_seconds: Optional[int] = None) -> int:
+        """Delete records not read/written for *ttl_seconds*; return count.
+
+        Cache keys embed the code fingerprint, so records from older source
+        trees become unreachable rather than stale — this reclaims them.
+        Hits touch their record's mtime (see :meth:`get`), so anything a
+        month old genuinely has not been used; in the worst case a
+        still-valid record is re-simulated once.  Leftover staging files
+        older than an hour are removed too.
+        """
+        import time as _time
+
+        ttl = self.PRUNE_TTL_SECONDS if ttl_seconds is None else ttl_seconds
+        removed = 0
+        try:
+            now = _time.time()
+            for name in os.listdir(self.root):
+                path = os.path.join(self.root, name)
+                try:
+                    age = now - os.stat(path).st_mtime
+                    if (name.endswith(".json") and age > ttl) or (
+                        ".tmp." in name and age > 3600
+                    ):
+                        os.remove(path)
+                        removed += 1
+                except OSError:
+                    continue
+        except OSError:
+            return removed
+        return removed
+
+    def maybe_prune(self) -> None:
+        """Run :meth:`prune` at most once per :data:`PRUNE_INTERVAL_SECONDS`.
+
+        Throttled through the mtime of a stamp file in the cache directory,
+        so the directory walk doesn't tax every CLI invocation.
+        """
+        stamp = os.path.join(self.root, ".last-prune")
+        import time as _time
+
+        try:
+            if _time.time() - os.stat(stamp).st_mtime < self.PRUNE_INTERVAL_SECONDS:
+                return
+        except OSError:
+            pass  # no stamp yet
+        try:
+            os.makedirs(self.root, exist_ok=True)
+            with open(stamp, "w"):
+                pass
+        except OSError:
+            return
+        self.prune()
+
+    # RunSpec conveniences -------------------------------------------------
+
+    def lookup_spec(self, spec: RunSpec) -> Tuple[bool, Any]:
+        return self.get(spec.experiment, spec.kwargs)
+
+    def store_spec(self, spec: RunSpec, result: Any) -> None:
+        self.put(spec.experiment, spec.kwargs, result)
+
+    def store_spec_encoded(self, spec: RunSpec, encoded_result: Any) -> None:
+        self.put_encoded(spec.experiment, spec.kwargs, encoded_result)
+
+    @staticmethod
+    def _record_key(experiment: str, params: Mapping[str, Any]) -> str:
+        return RunSpec(experiment, _no_fn, params).cache_key()
+
+
+def _no_fn(**_kwargs: Any) -> None:  # placeholder for key-only RunSpecs
+    raise RuntimeError("key-only spec is not executable")
+
+
+#: sentinel meaning "use default_cache()" (distinct from None = disabled)
+USE_DEFAULT_CACHE = object()
+
+_default_cache: Optional[ResultCache] = None
+
+
+def default_cache() -> Optional[ResultCache]:
+    """The process-wide :class:`ResultCache`, or ``None`` if disabled.
+
+    Honors ``REPRO_NO_CACHE=1`` (disable) and ``REPRO_CACHE_DIR`` (location).
+    """
+    global _default_cache
+    if os.environ.get(NO_CACHE_ENV, "").strip() in ("1", "true", "yes", "on"):
+        return None
+    root = os.environ.get(CACHE_DIR_ENV) or os.path.join(
+        os.path.expanduser("~"), ".cache", "repro"
+    )
+    if _default_cache is None or _default_cache.root != root:
+        _default_cache = ResultCache(root)
+        _default_cache.maybe_prune()
+    return _default_cache
+
+
+# ---------------------------------------------------------------------------
+# Execution engine
+# ---------------------------------------------------------------------------
+
+def _execute_spec_encoded(spec: RunSpec) -> Any:
+    """Worker entry point: run the spec and return the *encoded* result."""
+    return encode_result(spec.execute())
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # fork keeps sys.path (src/ layout without installation) and is cheap;
+    # fall back to the platform default where fork is unavailable
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def run_specs(
+    specs: Sequence[RunSpec],
+    jobs: int = 1,
+    cache: Any = USE_DEFAULT_CACHE,
+    on_result: Optional[Callable[[RunSpec, int, str], None]] = None,
+) -> List[Any]:
+    """Execute *specs*, in parallel and through the cache, in spec order.
+
+    ``jobs`` > 1 fans cache misses across that many worker processes (each
+    spec is an independent seeded simulation, so any interleaving yields
+    identical results).  ``cache`` is the default persistent cache, an
+    explicit :class:`ResultCache`, or ``None`` to disable caching.  Every
+    returned value — hit or miss, serial or parallel — is normalized
+    through the result codec, so callers always see the same data the
+    cache would serve.  ``on_result(spec, index, source)`` is invoked as
+    results resolve with ``source`` in ``{"cache", "run"}``.
+
+    Identical specs in one batch are simulated once (they are
+    deterministic), and each result is persisted *as it resolves*, so a
+    failing spec or an interrupt costs at most the in-flight runs — every
+    completed simulation is already on disk.
+    """
+    if cache is USE_DEFAULT_CACHE:
+        cache = default_cache()
+    results: List[Any] = [None] * len(specs)
+    pending: List[int] = []
+    for index, spec in enumerate(specs):
+        if cache is not None:
+            hit, value = cache.lookup_spec(spec)
+            if hit:
+                results[index] = value
+                if on_result is not None:
+                    on_result(spec, index, "cache")
+                continue
+        pending.append(index)
+
+    if not pending:
+        return results
+
+    # identical (experiment, kwargs) specs are deterministic duplicates:
+    # simulate the first occurrence only and fan its result out
+    groups: Dict[str, List[int]] = {}
+    for index in pending:
+        groups.setdefault(specs[index].cache_key(), []).append(index)
+    leaders = [indices[0] for indices in groups.values()]
+
+    def finish(leader: int, payload: Any) -> None:
+        # normalize through the same JSON round-trip a cache hit takes,
+        # and persist immediately — the already-encoded worker payload
+        # goes straight to disk without a second encode pass
+        value = decode_result(json.loads(json.dumps(payload)))
+        if cache is not None:
+            cache.store_spec_encoded(specs[leader], payload)
+        for index in groups[specs[leader].cache_key()]:
+            results[index] = value
+            if on_result is not None:
+                on_result(specs[index], index, "run")
+
+    if jobs > 1 and len(leaders) > 1:
+        workers = min(jobs, len(leaders))
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers, mp_context=_pool_context()
+        ) as pool:
+            futures = {
+                pool.submit(_execute_spec_encoded, specs[index]): index
+                for index in leaders
+            }
+            for future in concurrent.futures.as_completed(futures):
+                index = futures[future]
+                try:
+                    payload = future.result()
+                except Exception as exc:
+                    raise RuntimeError(
+                        f"experiment {specs[index].experiment!r} failed: {exc}"
+                    ) from exc
+                finish(index, payload)
+    else:
+        for index in leaders:
+            try:
+                payload = _execute_spec_encoded(specs[index])
+            except Exception as exc:
+                raise RuntimeError(
+                    f"experiment {specs[index].experiment!r} failed: {exc}"
+                ) from exc
+            finish(index, payload)
+    return results
+
+
+def run_plan(
+    plan: Plan,
+    jobs: int = 1,
+    cache: Any = USE_DEFAULT_CACHE,
+    on_result: Optional[Callable[[RunSpec, int, str], None]] = None,
+) -> Any:
+    """Execute a figure plan and assemble its public result."""
+    return plan.assemble(run_specs(plan.specs, jobs=jobs, cache=cache, on_result=on_result))

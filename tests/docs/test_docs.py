@@ -1,0 +1,32 @@
+"""Documentation conformance: markdown links resolve, figure index complete.
+
+Thin pytest wrapper around ``tools/check_docs.py`` (which CI also runs
+directly) so broken doc links fail the tier-1 suite, not just the docs job.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+
+_TOOL = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "tools",
+    "check_docs.py",
+)
+_spec = importlib.util.spec_from_file_location("check_docs", _TOOL)
+check_docs = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_docs)
+
+
+def test_markdown_links_resolve():
+    assert check_docs.check_links() == []
+
+
+def test_readme_figure_index_is_complete():
+    assert check_docs.check_figure_index() == []
+
+
+def test_repo_has_the_documentation_front_door():
+    for path in ("README.md", os.path.join("docs", "architecture.md")):
+        assert os.path.exists(os.path.join(check_docs.ROOT, path)), path

@@ -1,0 +1,130 @@
+"""Tests for the ``python -m repro.cli`` front end (list / run / sweep)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import cli
+from repro.harness import sweep
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Point the persistent cache at a throwaway directory for every test."""
+    monkeypatch.setenv(sweep.CACHE_DIR_ENV, str(tmp_path / "cache"))
+    monkeypatch.delenv(sweep.NO_CACHE_ENV, raising=False)
+    yield
+
+
+class TestCatalogue:
+    def test_list_prints_every_experiment(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in cli.EXPERIMENTS:
+            assert name in out
+        assert "sweep" in out
+
+    def test_no_arguments_means_list(self, capsys):
+        assert cli.main([]) == 0
+        assert "available experiments" in capsys.readouterr().out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert cli.main(["nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_single_figure_runs_and_caches(self, capsys):
+        assert cli.main(["fig12"]) == 0
+        out = capsys.readouterr().out
+        assert "fig12" in out and "1 runs" in out and "simulated" in out
+        # second invocation is served from the persistent cache
+        assert cli.main(["fig12"]) == 0
+        assert "1 from cache, 0 simulated" in capsys.readouterr().out
+
+    def test_no_cache_flag_bypasses_cache(self, capsys):
+        assert cli.main(["fig12", "--no-cache"]) == 0
+        assert "cache bypassed" in capsys.readouterr().out
+        assert cli.main(["fig12", "--no-cache"]) == 0
+        assert "cache bypassed" in capsys.readouterr().out
+
+    def test_parallel_jobs_produce_the_same_rows(self, capsys):
+        assert cli.main(["fig10", "--jobs", "2", "-q"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert cli.main(["fig10", "--no-cache", "-q"]) == 0
+        serial_out = capsys.readouterr().out
+        parallel_rows = [l for l in parallel_out.splitlines() if l.startswith("  ")]
+        serial_rows = [l for l in serial_out.splitlines() if l.startswith("  ")]
+        assert parallel_rows == serial_rows
+
+    def test_invalid_jobs_rejected(self, capsys):
+        assert cli.main(["fig12", "--jobs", "0"]) == 2
+
+    def test_all_combined_with_other_names_rejected(self, capsys):
+        assert cli.main(["all", "figg14"]) == 2
+        assert "all" in capsys.readouterr().err
+        assert cli.main(["fig12", "all"]) == 2
+
+    def test_set_without_sweep_rejected(self, capsys):
+        assert cli.main(["fig12", "--set", "samples=10"]) == 2
+        assert "sweep" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_grid_runs_every_combination(self, capsys):
+        assert cli.main(
+            ["sweep", "fig12", "--set", "samples=50,60", "--set", "seed=1,2", "-q"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.count("### fig12 [") == 4
+        assert "samples=50, seed=2" in out
+
+    def test_json_list_value_is_a_single_grid_point(self, capsys):
+        assert cli.main(
+            ["sweep", "fig12", "--set", "packet_sizes=[1500,9000]", "-q"]
+        ) == 0
+        assert capsys.readouterr().out.count("### fig12 [") == 1
+
+    def test_unknown_parameter_rejected(self, capsys):
+        assert cli.main(["sweep", "fig12", "--set", "bogus=1"]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert cli.main(["sweep", "nope", "--set", "seed=1"]) == 2
+
+    def test_malformed_set_rejected(self, capsys):
+        assert cli.main(["sweep", "fig12", "--set", "samples"]) == 2
+
+    def test_wrong_shaped_value_fails_cleanly(self, capsys):
+        # 'protocols' is a valid kwarg name but a bare string is the wrong
+        # shape: the engine error must surface as a clean exit, no traceback
+        code = cli.main(["sweep", "fig14", "--set", "protocols=NDP", "-q"])
+        captured = capsys.readouterr()
+        assert code in (1, 2)
+        assert "error" in captured.err or "could not build" in captured.err
+
+
+class TestGridParsing:
+    def test_scalars_parse_as_json(self):
+        grid = cli._parse_grid(["seed=1,2.5,true,name"])
+        assert grid == {"seed": [1, 2.5, True, "name"]}
+
+    def test_brackets_group_commas(self):
+        grid = cli._parse_grid(["windows=[1,2],[4,8]"])
+        assert grid == {"windows": [[1, 2], [4, 8]]}
+
+    def test_repeated_key_extends_the_grid(self):
+        grid = cli._parse_grid(["seed=1", "seed=2,3"])
+        assert grid == {"seed": [1, 2, 3]}
+
+    def test_quoted_strings_group_commas(self):
+        grid = cli._parse_grid(['label="a,b","c"'])
+        assert grid == {"label": ["a,b", "c"]}
+
+    def test_single_quoted_bare_string(self):
+        grid = cli._parse_grid(["label='x,y'"])
+        assert grid == {"label": ["x,y"]}
+
+    def test_stray_closing_bracket_does_not_disable_splitting(self):
+        grid = cli._parse_grid(["v=],1,2"])
+        assert grid == {"v": ["]", 1, 2]}

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Link/reference checker for the repository's markdown documentation.
+
+Checks, without any network access:
+
+1. every relative markdown link (``[text](path)``) in the repo's ``*.md``
+   files resolves to an existing file or directory (anchors are stripped;
+   ``http(s)://`` / ``mailto:`` links are skipped);
+2. every experiment name in the CLI catalogue (``repro.cli.EXPERIMENTS``)
+   is mentioned in the README's figure index, so the front door can never
+   silently fall out of date;
+3. every markdown anchor referenced as ``path#anchor`` exists as a heading
+   in the target file (GitHub-style slugs).
+
+Run from anywhere: ``python tools/check_docs.py``.  Exits non-zero and
+prints one line per problem; also exercised by ``tests/docs/test_docs.py``
+and the CI docs job.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import List
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules", ".benchmarks"}
+# (?<!!) skips image embeds: retrieved paper dumps (PAPERS.md) reference
+# figure bitmaps that are intentionally not vendored into the repo
+LINK_RE = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def markdown_files() -> List[str]:
+    found = []
+    for directory, subdirs, filenames in os.walk(ROOT):
+        subdirs[:] = [d for d in subdirs if d not in SKIP_DIRS]
+        for filename in filenames:
+            if filename.endswith(".md"):
+                found.append(os.path.join(directory, filename))
+    return sorted(found)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, spaces to dashes, drop punctuation."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug, flags=re.UNICODE)
+    return slug.replace(" ", "-")
+
+
+def check_links() -> List[str]:
+    problems = []
+    for path in markdown_files():
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+        relpath = os.path.relpath(path, ROOT)
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if target.startswith("#"):
+                anchor, file_target = target[1:], path
+            else:
+                file_part, _, anchor = target.partition("#")
+                file_target = os.path.normpath(
+                    os.path.join(os.path.dirname(path), file_part)
+                )
+                if not os.path.exists(file_target):
+                    problems.append(f"{relpath}: broken link -> {target}")
+                    continue
+            if anchor and file_target.endswith(".md"):
+                with open(file_target, "r", encoding="utf-8") as fh:
+                    headings = HEADING_RE.findall(fh.read())
+                slugs = {github_slug(h) for h in headings}
+                if anchor.lower() not in slugs:
+                    problems.append(f"{relpath}: broken anchor -> {target}")
+    return problems
+
+
+def check_figure_index() -> List[str]:
+    sys.path.insert(0, os.path.join(ROOT, "src"))
+    try:
+        from repro.cli import EXPERIMENTS
+    except Exception as error:  # pragma: no cover - import environment issue
+        return [f"could not import repro.cli to verify the figure index: {error}"]
+    readme = os.path.join(ROOT, "README.md")
+    if not os.path.exists(readme):
+        return ["README.md is missing"]
+    with open(readme, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    return [
+        f"README.md: experiment {name!r} missing from the figure index"
+        for name in EXPERIMENTS
+        if f"`{name}`" not in text
+    ]
+
+
+def main() -> int:
+    problems = check_links() + check_figure_index()
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} documentation problem(s)", file=sys.stderr)
+        return 1
+    print(f"docs OK: {len(markdown_files())} markdown files checked")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
