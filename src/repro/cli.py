@@ -61,6 +61,9 @@ EXPERIMENTS: Dict[str, tuple[str, Callable[[], object]]] = {
     "phost": ("NDP vs pHost (no trimming)", figures.phost_comparison),
     "scaling": ("permutation utilization vs topology size", figures.scaling_utilization),
     "uplinks": ("where packets get trimmed (load balancing)", figures.uplink_trimming_study),
+    "failures_degraded": ("permutation FCTs over a degraded core link", figures.failures_degraded),
+    "failures_recovery": ("mid-transfer link failure + recovery timeline", figures.failures_recovery),
+    "failures_klinks": ("permutation FCTs with k core links down", figures.failures_klinks),
 }
 
 

@@ -103,6 +103,19 @@ class PathManager:
         Used when routes must be finalized after construction, e.g. once the
         destination endpoint exists and can be appended to each fabric path.
         """
+        self.update_routes(routes)
+
+    def update_routes(self, routes: Sequence[Route]) -> None:
+        """Adopt a new route set after a link-state change (paper §5 behaviour).
+
+        The scoreboard is preserved: scores of path ids absent from the new
+        set are *retained*, so a path pruned by a link failure returns with
+        its ACK/NACK/loss history when the link recovers — and path ids are
+        stable across pruning (the route table guarantees it), so feedback
+        for in-flight packets on a just-pruned path still lands on the right
+        counter.  The current permutation walk restarts over the new set;
+        outlier exclusion is re-evaluated on the next selection.
+        """
         if not routes:
             raise ValueError("a PathManager needs at least one route")
         self.routes = list(routes)
@@ -165,13 +178,18 @@ class PathManager:
         return usable if usable else self.routes
 
     def _outlier_paths(self) -> List[int]:
-        sampled = [s for s in self.scores.values() if s.samples >= self.min_samples]
+        # Judge only the *current* routes: scores of paths pruned by a link
+        # failure are retained for their eventual recovery, but letting a
+        # dead path's stale loss count fill the exclusion budget (and skew
+        # the means) would disable the penalty for the survivors.
+        current = {route.path_id: self.scores[route.path_id] for route in self.routes}
+        sampled = [s for s in current.values() if s.samples >= self.min_samples]
         if len(sampled) < 2:
             return []
         mean_nack = sum(s.nack_fraction for s in sampled) / len(sampled)
         mean_loss = sum(s.losses for s in sampled) / len(sampled)
         outliers = []
-        for path_id, score in self.scores.items():
+        for path_id, score in current.items():
             if score.samples < self.min_samples:
                 continue
             bad_nacks = (

@@ -124,6 +124,10 @@ class NdpSink(NetworkEndpoint):
         """Mark (or unmark) this connection as high priority at the pull queue."""
         self.priority = priority
 
+    def update_reverse_routes(self, routes: Sequence[Route]) -> None:
+        """Adopt new reverse (ACK/NACK/PULL) routes after a link-state change."""
+        self.reverse_paths.update_routes(routes)
+
     # --- protocol state ------------------------------------------------------------
 
     @property

@@ -182,6 +182,19 @@ class NdpSrc(NetworkEndpoint):
         """Install the final forward routes (each ending at the sink)."""
         self.paths.set_routes(routes)
 
+    def update_routes(self, routes: Sequence[Route]) -> None:
+        """Adopt new forward routes after a fabric link-state change.
+
+        Called by the network layer when a link fails or recovers: the
+        surviving (or restored) paths replace the current set while the path
+        scoreboard keeps its history (see
+        :meth:`~repro.core.path_manager.PathManager.update_routes`).
+        Retransmission state is untouched — packets lost on a just-failed
+        path are recovered by the normal NACK/RTO/keepalive machinery, now
+        over live paths only.
+        """
+        self.paths.update_routes(routes)
+
     def start(self, at_time_ps: Optional[int] = None) -> None:
         """Schedule the first-RTT burst (defaults to the current time)."""
         when = self.now() if at_time_ps is None else at_time_ps

@@ -251,6 +251,17 @@ class NdpSwitchQueue(BaseQueue):
             self.control_dropped += 1
         self.stats.record_drop(packet.size)
 
+    def _purge_backlog(self) -> None:
+        # link-down (BaseQueue.sever): both priority queues are lost
+        stats = self.stats
+        while self._data_queue:
+            stats.record_drop(self._data_queue.popleft().size)
+        while self._header_queue:
+            stats.record_drop(self._header_queue.popleft().size)
+        self._data_bytes = 0
+        self._header_bytes = 0
+        self.queue_bytes = 0
+
     def _record_enqueue(self, packet: Packet) -> None:
         stats = self.stats
         stats.packets_enqueued += 1

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Type
+from typing import Callable, Dict, List, Optional, Tuple, Type
 
 from repro.routing.ecmp import EcmpFlowSelector
 from repro.sim.eventlist import EventList
@@ -76,7 +76,18 @@ class MptcpFlow:
 
 
 class _BaseNetwork:
-    """Shared machinery: flow-id allocation, ECMP path choice, bookkeeping."""
+    """Shared machinery: flow-id allocation, ECMP path choice, bookkeeping.
+
+    Path choice consumes the topology's route table (``get_paths`` returns
+    only surviving paths) through one persistent
+    :class:`~repro.routing.ecmp.EcmpFlowSelector` per (src, dst) pair.  On a
+    link failure or recovery the selectors re-hash over the surviving set —
+    so *new* flows avoid dead paths the way real switches recompute their
+    ECMP groups — while flows already created keep the route they were
+    assigned: per-flow transports stay stuck on a failed path, which is the
+    control behaviour the paper's resilience experiments measure NDP
+    against.
+    """
 
     def __init__(self, topology: Topology, seed: int = 1) -> None:
         self.topology = topology
@@ -84,20 +95,49 @@ class _BaseNetwork:
         self.rng = random.Random(seed)
         self._next_flow_id = 0
         self.flows: List[object] = []
+        self._selectors: Dict[Tuple[int, int], EcmpFlowSelector] = {}
+        topology.subscribe_link_state(self._on_link_state)
 
     def _allocate_flow_id(self) -> int:
         flow_id = self._next_flow_id
         self._next_flow_id += 1
         return flow_id
 
+    def _surviving_paths(self, src_host: int, dst_host: int):
+        """``get_paths`` with a clear error when link failures partition the pair."""
+        paths = self.topology.get_paths(src_host, dst_host)
+        if not paths:
+            raise RuntimeError(
+                f"no surviving path from host {src_host} to host {dst_host}: "
+                f"the pair is partitioned by link failures "
+                f"({len(self.topology.failed_links())} directed links down)"
+            )
+        return paths
+
+    def _ecmp_selector(self, src_host: int, dst_host: int) -> EcmpFlowSelector:
+        """The persistent per-pair ECMP group (created on first use)."""
+        key = (src_host, dst_host)
+        selector = self._selectors.get(key)
+        if selector is None:
+            selector = EcmpFlowSelector(self._surviving_paths(src_host, dst_host))
+            self._selectors[key] = selector
+        return selector
+
     def _ecmp_pair(self, src_host: int, dst_host: int, flow_id: int):
         """Pick matching forward/reverse paths via per-flow ECMP."""
-        forward = self.topology.get_paths(src_host, dst_host)
-        reverse = self.topology.get_paths(dst_host, src_host)
-        index = EcmpFlowSelector(forward).path_for_flow(flow_id).path_id
-        fwd = next(p for p in forward if p.path_id == index)
-        rev = next((p for p in reverse if p.path_id == index), reverse[0])
+        fwd = self._ecmp_selector(src_host, dst_host).path_for_flow(flow_id)
+        reverse = self._surviving_paths(dst_host, src_host)
+        rev = next((p for p in reverse if p.path_id == fwd.path_id), reverse[0])
         return fwd, rev
+
+    def _on_link_state(self, event) -> None:
+        """Re-hash every ECMP group over the surviving paths (fail/recover)."""
+        if event.kind not in ("fail", "recover"):
+            return
+        for (src_host, dst_host), selector in self._selectors.items():
+            paths = self.topology.get_paths(src_host, dst_host)
+            if paths:  # a fully partitioned pair keeps its stale group
+                selector.update_paths(paths)
 
     def records(self) -> List[FlowRecord]:
         """Receiver-side flow records of all flows created so far."""
@@ -281,8 +321,8 @@ class MptcpNetwork(TcpNetwork):
             config=self.config,
             on_complete=(lambda _c: on_complete(_c)) if on_complete else None,
         )
-        forward = self.topology.get_paths(src_host, dst_host)
-        reverse = self.topology.get_paths(dst_host, src_host)
+        forward = self._surviving_paths(src_host, dst_host)
+        reverse = self._surviving_paths(dst_host, src_host)
         connection.build(forward, reverse, rng=random.Random(self.rng.randrange(2**62)))
         connection.start(start_time_ps)
         connection.record.start_time_ps = start_time_ps
@@ -407,8 +447,8 @@ class PHostNetwork(_BaseNetwork):
     ) -> EndpointFlow:
         """Create one pHost transfer."""
         flow_id = self._allocate_flow_id()
-        forward = self.topology.get_paths(src_host, dst_host)
-        reverse = self.topology.get_paths(dst_host, src_host)
+        forward = self._surviving_paths(src_host, dst_host)
+        reverse = self._surviving_paths(dst_host, src_host)
         src = PHostSrc(
             eventlist=self.eventlist,
             flow_id=flow_id,

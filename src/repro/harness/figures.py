@@ -55,6 +55,7 @@ from repro.sim.eventlist import EventList
 from repro.sim.logger import RateEstimator, TimeSeriesSampler
 from repro.topology import (
     BackToBackTopology,
+    FabricController,
     FatTreeTopology,
     LeafSpineTopology,
     SingleSwitchTopology,
@@ -1490,6 +1491,250 @@ def _scaling_point(k, flow_bytes, duration_ps, seed):
     }
 
 
+# ---------------------------------------------------------------------------
+# Failures family — fabric dynamics (link failure / degradation / recovery).
+# No single paper figure: this extends Figure 22's static-asymmetry axis with
+# the deterministic mid-run link events the FabricController provides.
+# ---------------------------------------------------------------------------
+
+#: the transports compared in the failure experiments: NDP (with and without
+#: the path-penalty scoreboard) against per-flow-ECMP single-path controls
+_FAILURE_CASES = {
+    "NDP": (NdpNetwork, lambda: NdpConfig()),
+    "NDP (no path penalty)": (NdpNetwork, lambda: NdpConfig(path_penalty=False)),
+    "TCP": (TcpNetwork, lambda: None),
+    "DCTCP": (DctcpNetwork, lambda: None),
+}
+
+
+def failures_degraded_plan(
+    k: int = 4,
+    degraded_rate_bps: int = units.gbps(1),
+    flow_bytes: int = 1_000_000,
+    timeout_ps: int = units.milliseconds(60),
+    cases: Optional[Sequence[str]] = None,
+    seed: int = 27,
+) -> Plan:
+    """One spec per transport: permutation FCTs over a degraded-core fabric."""
+    cases = list(cases) if cases is not None else list(_FAILURE_CASES)
+    specs = [
+        RunSpec(
+            f"failures_degraded[{case}]",
+            _failures_degraded_case,
+            dict(
+                case=case, k=k, degraded_rate_bps=degraded_rate_bps,
+                flow_bytes=flow_bytes, timeout_ps=timeout_ps, seed=seed,
+            ),
+        )
+        for case in cases
+    ]
+    return Plan(specs, lambda results: list(results))
+
+
+def failures_degraded(
+    k: int = 4,
+    degraded_rate_bps: int = units.gbps(1),
+    flow_bytes: int = 1_000_000,
+    timeout_ps: int = units.milliseconds(60),
+    cases: Optional[Sequence[str]] = None,
+    seed: int = 27,
+) -> List[Dict[str, object]]:
+    """Permutation FCTs with one core↔agg link degraded, NDP vs ECMP controls.
+
+    The FCT view of Figure 22: every host sends one *finite* transfer over a
+    fabric whose core0↔pod(k-1) link renegotiated down.  NDP's scoreboard
+    steers spraying off the slow path so FCTs stay near the healthy fabric's;
+    per-flow-ECMP TCP/DCTCP flows hashed onto the degraded core are stuck
+    behind it, which shows up in the p99/max columns.
+    """
+    return run_plan(
+        failures_degraded_plan(k, degraded_rate_bps, flow_bytes, timeout_ps, cases, seed)
+    )
+
+
+def _failures_degraded_case(case, k, degraded_rate_bps, flow_bytes, timeout_ps, seed):
+    """Unit run: one transport's permutation FCT summary over a degraded core."""
+    builder, config_factory = _FAILURE_CASES[case]
+    config = config_factory()
+    eventlist = EventList()
+    kwargs = {"config": config} if config is not None else {}
+    network = builder.build(eventlist, FatTreeTopology, k=k, seed=seed, **kwargs)
+    network.topology.degrade_core_link(core=0, pod=k - 1, new_rate_bps=degraded_rate_bps)
+    flows = experiment.start_permutation(network, flow_bytes, rng=random.Random(seed))
+    result = experiment.run_until_complete(network, flows, timeout_ps)
+    return {
+        "case": case,
+        "flows": len(flows),
+        "completed": len(result.completed()),
+        **result.summary(),
+    }
+
+
+def failures_recovery_plan(
+    k: int = 4,
+    flow_bytes: int = 4_000_000,
+    fail_at_ps: int = units.milliseconds(1),
+    recover_at_ps: int = units.milliseconds(3),
+    duration_ps: int = units.milliseconds(8),
+    sample_period_ps: int = units.microseconds(100),
+    protocols: Optional[Sequence[str]] = None,
+    seed: int = 29,
+) -> Plan:
+    """One spec per protocol: goodput timeline through a fail→recover cycle."""
+    protocols = list(protocols) if protocols is not None else ["NDP", "TCP"]
+    specs = [
+        RunSpec(
+            f"failures_recovery[{name}]",
+            _failures_recovery_case,
+            dict(
+                protocol=name, k=k, flow_bytes=flow_bytes, fail_at_ps=fail_at_ps,
+                recover_at_ps=recover_at_ps, duration_ps=duration_ps,
+                sample_period_ps=sample_period_ps, seed=seed,
+            ),
+        )
+        for name in protocols
+    ]
+
+    def assemble(results) -> Dict[str, Dict[str, object]]:
+        return {name: result for name, result in zip(protocols, results)}
+
+    return Plan(specs, assemble)
+
+
+def failures_recovery(
+    k: int = 4,
+    flow_bytes: int = 4_000_000,
+    fail_at_ps: int = units.milliseconds(1),
+    recover_at_ps: int = units.milliseconds(3),
+    duration_ps: int = units.milliseconds(8),
+    sample_period_ps: int = units.microseconds(100),
+    protocols: Optional[Sequence[str]] = None,
+    seed: int = 29,
+) -> Dict[str, Dict[str, object]]:
+    """Mid-transfer core-link failure and recovery: aggregate goodput vs time.
+
+    A permutation of finite transfers is mid-flight when the core0↔pod(k-1)
+    cable is cut at ``fail_at_ps`` and spliced back at ``recover_at_ps``
+    (both applied by a :class:`~repro.topology.FabricController` on shadow
+    timers).  Returns, per protocol, the aggregate-goodput time series plus
+    completion counts: NDP dips for one round-trip and recovers as the path
+    manager prunes the dead path; per-flow-ECMP TCP flows on the cut path
+    stall until the link returns.
+    """
+    return run_plan(
+        failures_recovery_plan(
+            k, flow_bytes, fail_at_ps, recover_at_ps, duration_ps,
+            sample_period_ps, protocols, seed,
+        )
+    )
+
+
+def _failures_recovery_case(
+    protocol, k, flow_bytes, fail_at_ps, recover_at_ps, duration_ps,
+    sample_period_ps, seed,
+):
+    """Unit run: one protocol's goodput timeline through an outage."""
+    builder, config_factory = _FAILURE_CASES[protocol]
+    config = config_factory()
+    eventlist = EventList()
+    kwargs = {"config": config} if config is not None else {}
+    network = builder.build(eventlist, FatTreeTopology, k=k, seed=seed, **kwargs)
+    topology = network.topology
+    core_node, agg_node = topology.core_agg_pair(core=0, pod=k - 1)
+    controller = FabricController(topology)
+    controller.schedule_outage(core_node, agg_node, fail_at_ps, recover_at_ps)
+    flows = experiment.start_permutation(network, flow_bytes, rng=random.Random(seed))
+    rate = RateEstimator()
+    series = TimeSeriesSampler(
+        eventlist, sample_period_ps,
+        lambda: rate.update(
+            eventlist.now(), sum(f.record.bytes_delivered for f in flows)
+        ),
+    )
+    series.start()
+    eventlist.run(until=duration_ps)
+    return {
+        "goodput": series.samples,
+        "flows": len(flows),
+        "completed": sum(1 for f in flows if f.record.completed),
+        "bytes_delivered": sum(f.record.bytes_delivered for f in flows),
+        "link_events": [e.describe() for e in controller.fired],
+    }
+
+
+def failures_klinks_plan(
+    links_down: int = 1,
+    k: int = 4,
+    flow_bytes: int = 500_000,
+    timeout_ps: int = units.milliseconds(40),
+    protocols: Optional[Sequence[str]] = None,
+    seed: int = 31,
+) -> Plan:
+    """One spec per protocol at one ``links_down`` level (sweep via the CLI)."""
+    core_count = (k // 2) ** 2
+    if not 0 <= links_down < core_count:
+        raise ValueError(
+            f"links_down must be in [0, {core_count}) for k={k} "
+            f"(failing every core link into one pod partitions it)"
+        )
+    protocols = list(protocols) if protocols is not None else ["NDP", "TCP"]
+    specs = [
+        RunSpec(
+            f"failures_klinks[{name},down={links_down}]",
+            _failures_klinks_case,
+            dict(
+                protocol=name, links_down=links_down, k=k,
+                flow_bytes=flow_bytes, timeout_ps=timeout_ps, seed=seed,
+            ),
+        )
+        for name in protocols
+    ]
+    return Plan(specs, lambda results: list(results))
+
+
+def failures_klinks(
+    links_down: int = 1,
+    k: int = 4,
+    flow_bytes: int = 500_000,
+    timeout_ps: int = units.milliseconds(40),
+    protocols: Optional[Sequence[str]] = None,
+    seed: int = 31,
+) -> List[Dict[str, object]]:
+    """Permutation FCTs with *links_down* core cables cut before the run.
+
+    The k-links-down resilience sweep (``python -m repro.cli sweep
+    failures_klinks --set links_down=0,1,2``): cores 0..links_down-1 into
+    pod k-1 are cut, the ECMP groups re-hash over the survivors, then a
+    permutation runs to completion.  Both transports complete (the failures
+    precede flow creation) but with fewer core paths NDP degrades gracefully
+    while per-flow ECMP's collision probability — and tail FCT — climbs.
+    """
+    return run_plan(
+        failures_klinks_plan(links_down, k, flow_bytes, timeout_ps, protocols, seed)
+    )
+
+
+def _failures_klinks_case(protocol, links_down, k, flow_bytes, timeout_ps, seed):
+    """Unit run: one transport's permutation with N core links pre-failed."""
+    builder, config_factory = _FAILURE_CASES[protocol]
+    config = config_factory()
+    eventlist = EventList()
+    kwargs = {"config": config} if config is not None else {}
+    network = builder.build(eventlist, FatTreeTopology, k=k, seed=seed, **kwargs)
+    topology = network.topology
+    for core in range(links_down):
+        topology.fail_core_link(core=core, pod=k - 1)
+    flows = experiment.start_permutation(network, flow_bytes, rng=random.Random(seed))
+    result = experiment.run_until_complete(network, flows, timeout_ps)
+    return {
+        "protocol": protocol,
+        "links_down": links_down,
+        "flows": len(flows),
+        "completed": len(result.completed()),
+        **result.summary(),
+    }
+
+
 #: experiment name (as used by ``python -m repro.cli``) -> plan builder.
 #: Every builder accepts the same keyword arguments as its generator and
 #: returns a :class:`~repro.harness.sweep.Plan`; this is the registry the
@@ -1515,4 +1760,7 @@ FIGURE_PLANS = {
     "phost": phost_plan,
     "scaling": scaling_plan,
     "uplinks": uplink_trimming_plan,
+    "failures_degraded": failures_degraded_plan,
+    "failures_recovery": failures_recovery_plan,
+    "failures_klinks": failures_klinks_plan,
 }

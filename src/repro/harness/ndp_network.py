@@ -40,6 +40,12 @@ class NdpFlow:
     flow_id: int
     src: NdpSrc
     sink: NdpSink
+    #: endpoints of the transfer, kept for link-state route refreshes
+    src_host: int = -1
+    dst_host: int = -1
+    #: the (possibly fault-tapped) delivery entries routes terminate at
+    src_entry: Optional[PacketSink] = None
+    sink_entry: Optional[PacketSink] = None
 
     @property
     def record(self) -> FlowRecord:
@@ -81,6 +87,10 @@ class NdpNetwork:
         #: passes a FaultPoint tap first.  Bounced (return-to-sender)
         #: headers are delivered switch-to-source directly and bypass it.
         self.fault_injector = fault_injector
+        # Fabric dynamics: when a link fails or recovers, refresh every live
+        # flow's route set so path managers prune (or re-admit) the affected
+        # paths immediately.  Subscribing costs nothing on a static fabric.
+        topology.subscribe_link_state(self._on_link_state)
 
     # --- construction ----------------------------------------------------------
 
@@ -168,6 +178,12 @@ class NdpNetwork:
         self._next_flow_id += 1
         forward_paths = self.topology.get_paths(src_host, dst_host)
         reverse_paths = self.topology.get_paths(dst_host, src_host)
+        if not forward_paths or not reverse_paths:
+            raise RuntimeError(
+                f"no surviving path between host {src_host} and host {dst_host}: "
+                f"the pair is partitioned by link failures "
+                f"({len(self.topology.failed_links())} directed links down)"
+            )
 
         src = NdpSrc(
             eventlist=self.eventlist,
@@ -206,9 +222,47 @@ class NdpNetwork:
         # (not from the first arrival), so single-packet transfers have a
         # meaningful FCT
         sink.record.start_time_ps = start_time_ps
-        flow = NdpFlow(flow_id=flow_id, src=src, sink=sink)
+        flow = NdpFlow(
+            flow_id=flow_id,
+            src=src,
+            sink=sink,
+            src_host=src_host,
+            dst_host=dst_host,
+            src_entry=src_entry,
+            sink_entry=sink_entry,
+        )
         self.flows.append(flow)
         return flow
+
+    # --- fabric dynamics ---------------------------------------------------------------
+
+    def _on_link_state(self, event) -> None:
+        """Refresh every live flow's routes after a fail/recover event.
+
+        Rate and delay changes do not alter the path set — reacting to a
+        degraded-but-alive link is the path scoreboard's job (§5, Figure 22)
+        — so only events that reroute are handled.  For each incomplete flow
+        the surviving fabric paths are re-read from the topology's route
+        table and re-terminated at the flow's existing delivery entries; a
+        fully partitioned pair keeps its stale routes (there is nothing
+        better to install) until a recovery event refreshes it.
+        """
+        if event.kind not in ("fail", "recover"):
+            return
+        topology = self.topology
+        for flow in self.flows:
+            if flow.sink.complete:
+                continue
+            forward = topology.get_paths(flow.src_host, flow.dst_host)
+            reverse = topology.get_paths(flow.dst_host, flow.src_host)
+            if not forward or not reverse:
+                continue
+            flow.src.update_routes(
+                [route.extended(flow.sink_entry) for route in forward]
+            )
+            flow.sink.update_reverse_routes(
+                [route.extended(flow.src_entry) for route in reverse]
+            )
 
     # --- reporting --------------------------------------------------------------------
 

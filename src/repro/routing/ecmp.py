@@ -48,6 +48,19 @@ class EcmpFlowSelector:
         """The path assigned to *flow_id* (stable across calls)."""
         return ecmp_path(self.paths, flow_id, self.salt)
 
+    def update_paths(self, paths: Sequence[Route]) -> None:
+        """Re-hash over a new path set (link failed or recovered).
+
+        Models switches recomputing their ECMP groups: *subsequent* flows
+        hash over the surviving paths, while flows already assigned keep the
+        route they were given — per-flow ECMP does not move live flows,
+        which is exactly the stuck-on-a-dead-path behaviour the paper's
+        failure experiments demonstrate.
+        """
+        if not paths:
+            raise ValueError("EcmpFlowSelector needs at least one path")
+        self.paths = list(paths)
+
 
 class RandomPacketSelector:
     """Per-packet ECMP: a uniformly random path for every packet."""
@@ -61,3 +74,14 @@ class RandomPacketSelector:
     def next_route(self) -> Route:
         """A fresh random path (API-compatible with PathManager)."""
         return self.rng.choice(self.paths)
+
+    def update_paths(self, paths: Sequence[Route]) -> None:
+        """Re-draw over a new path set (link failed or recovered).
+
+        The RNG stream is left untouched, so two selectors with identical
+        seeds that receive identical update sequences keep making identical
+        choices — the determinism contract of every seeded component.
+        """
+        if not paths:
+            raise ValueError("RandomPacketSelector needs at least one path")
+        self.paths = list(paths)

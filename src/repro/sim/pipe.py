@@ -31,6 +31,16 @@ class Pipe(PacketSink):
         self.packets_carried = 0
         self.bytes_carried = 0
 
+    def set_delay_ps(self, delay_ps: int) -> None:
+        """Change the propagation delay (cable swap / reroute mid-run).
+
+        Packets already in flight keep the delay they departed with; only
+        subsequent arrivals see the new value.
+        """
+        if delay_ps < 0:
+            raise ValueError(f"pipe delay must be non-negative, got {delay_ps}")
+        self.delay_ps = delay_ps
+
     def receive_packet(self, packet: Packet) -> None:
         """Deliver *packet* to its next hop after the propagation delay."""
         self.packets_carried += 1

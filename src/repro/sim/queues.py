@@ -144,6 +144,78 @@ class BaseQueue(PacketSink):
         """True while a downstream PFC queue has paused this port."""
         return self._paused
 
+    # --- link state (fabric dynamics) ----------------------------------------
+
+    def set_service_rate(self, rate_bps: int) -> None:
+        """Re-rate the port mid-run (link degradation / renegotiation).
+
+        Besides ``service_rate_bps`` itself, the serialization-time memo and
+        the rounding half hoisted out of the service loop must be refreshed —
+        mutating the rate attribute alone would keep serving every
+        already-seen packet size at the old speed.  The packet currently
+        being serialized (if any) completes at the rate it started at.
+        """
+        if rate_bps <= 0:
+            raise ValueError(f"service rate must be positive, got {rate_bps}")
+        self.service_rate_bps = rate_bps
+        self._rate_half = rate_bps // 2
+        self._ser_cache.clear()
+
+    @property
+    def severed(self) -> bool:
+        """True while :meth:`sever` has taken this port's link down."""
+        return "receive_packet" in self.__dict__
+
+    def sever(self) -> None:
+        """Take the link down: nothing admitted after this crosses the link.
+
+        Installs a per-instance ``receive_packet`` dropper (zero cost for
+        healthy links — the class method is untouched), purges the queued
+        packets as drops, and abandons the packet being serialized; its
+        completion event still fires but forwards nothing.  Packets that
+        already left the queue — on the wire in the downstream pipe — are
+        delivered: one propagation delay of traffic is physically in flight
+        when a cable is cut.
+
+        The pipes feeding this queue captured its ``receive_packet`` *bound
+        method* when their in-flight packets entered them, so such packets
+        bypass the instance dropper on arrival.  The port is therefore also
+        held paused: bypassers are buffered, never serviced, and dropped by
+        :meth:`restore` — no packet admitted after the cut ever crosses the
+        link.  (A PFC ``resume`` from a downstream lossless peer landing
+        inside the sever window could lift that hold; the failure
+        experiments do not combine PFC with severed links.)
+        """
+        if self.severed:
+            return
+        self._purge_backlog()
+        if self._in_service is not None:
+            self.stats.record_drop(self._in_service.size)
+            self._in_service = None  # _complete_service tolerates the gap
+        self._paused = True  # directly: not a PFC pause, keep its stats clean
+        stats = self.stats
+
+        def _drop_on_dead_link(packet: Packet) -> None:
+            stats.record_drop(packet.size)
+
+        self.receive_packet = _drop_on_dead_link  # type: ignore[method-assign]
+
+    def restore(self) -> None:
+        """Bring a severed link back up (undo :meth:`sever`)."""
+        if not self.severed:
+            return
+        self._purge_backlog()  # bypass-admitted strays died with the link
+        self.__dict__.pop("receive_packet", None)
+        self._paused = False
+
+    def _purge_backlog(self) -> None:
+        """Drop every queued packet (link-down); multi-queue ports override."""
+        fifo = self._fifo
+        stats = self.stats
+        while fifo:
+            stats.record_drop(fifo.popleft().size)
+        self.queue_bytes = 0
+
     # --- admission (subclass responsibility) ---------------------------------
 
     def receive_packet(self, packet: Packet) -> None:
@@ -485,6 +557,12 @@ class LosslessQueue(BaseQueue):
         self._update_pause_state()
 
     def _packet_departed(self, packet: Packet) -> None:
+        self._update_pause_state()
+
+    def _purge_backlog(self) -> None:
+        # a purged PFC port must release its paused upstream peers, or they
+        # would stay throttled by a link that no longer exists
+        super()._purge_backlog()
         self._update_pause_state()
 
     def _update_pause_state(self) -> None:

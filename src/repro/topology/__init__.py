@@ -14,19 +14,39 @@
 
 All topologies share the :class:`~repro.topology.base.Topology` base class:
 they register directed links (an output queue followed by a propagation
-pipe) and answer ``get_paths(src, dst)`` with every available path as a
-:class:`~repro.sim.packet.Route`.
+pipe), enumerate paths symbolically via ``node_paths(src, dst)``, and answer
+``get_paths(src, dst)`` with every *surviving* path as a
+:class:`~repro.sim.packet.Route`, resolved through the per-topology
+:class:`~repro.topology.route_table.RouteTable`.
+
+The fabric is dynamic: the link-state API (``fail_link`` / ``recover_link``
+/ ``set_link_rate`` / ``set_link_delay_ps``) mutates it mid-run and notifies
+subscribers, and :class:`~repro.topology.dynamics.FabricController`
+schedules those mutations deterministically on the simulation clock (shadow
+timers — zero perturbation when unused).
 """
 
-from repro.topology.base import LinkRecord, QueueFactory, Topology
+from repro.topology.base import (
+    LinkRecord,
+    LinkStateEvent,
+    QueueFactory,
+    Topology,
+)
+from repro.topology.dynamics import FabricController, ScheduledLinkEvent
 from repro.topology.fattree import FatTreeTopology
 from repro.topology.leafspine import LeafSpineTopology
+from repro.topology.route_table import NodePath, RouteTable
 from repro.topology.simple import BackToBackTopology, SingleSwitchTopology
 
 __all__ = [
     "Topology",
     "LinkRecord",
+    "LinkStateEvent",
     "QueueFactory",
+    "RouteTable",
+    "NodePath",
+    "FabricController",
+    "ScheduledLinkEvent",
     "FatTreeTopology",
     "LeafSpineTopology",
     "SingleSwitchTopology",

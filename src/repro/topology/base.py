@@ -5,10 +5,24 @@ A topology is a directed graph of named nodes (``host3``, ``tor1``,
 (which serializes at the link rate and implements the experiment's queueing
 discipline) followed by a propagation :class:`~repro.sim.pipe.Pipe`.
 
-Topologies answer :meth:`Topology.get_paths` with one
-:class:`~repro.sim.packet.Route` per physical path from a source host to a
-destination host.  Routes contain only fabric elements; the connection
-helpers in :mod:`repro.harness` append the destination protocol endpoint.
+Topologies enumerate paths *symbolically*: :meth:`Topology.node_paths`
+(implemented by subclasses) lists the node-name tuples from a source host to
+a destination host, and :meth:`Topology.get_paths` resolves them through the
+per-topology :class:`~repro.topology.route_table.RouteTable` into one
+:class:`~repro.sim.packet.Route` per *surviving* physical path — links that
+have been failed through the link-state API below are pruned.  Routes
+contain only fabric elements; the connection helpers in
+:mod:`repro.harness` append the destination protocol endpoint.
+
+The link-state API (:meth:`Topology.fail_link`, :meth:`Topology.recover_link`,
+:meth:`Topology.set_link_rate`, :meth:`Topology.set_link_delay_ps`) is the
+single mutation point for fabric dynamics: every change is applied to the
+underlying queue/pipe, versioned for the route table, and broadcast to
+subscribers (:meth:`Topology.subscribe_link_state`) as a :class:`LinkStateEvent`
+— which is how NDP path managers and the baselines' ECMP selectors learn to
+re-rank, prune, and re-hash mid-run.  Scheduling deterministic link events
+on the simulation clock is the job of
+:class:`~repro.topology.dynamics.FabricController`.
 """
 
 from __future__ import annotations
@@ -21,6 +35,7 @@ from repro.sim.packet import Route
 from repro.sim.pipe import Pipe
 from repro.sim.queues import BaseQueue, DropTailQueue, LosslessQueue
 from repro.sim.units import DEFAULT_LINK_RATE_BPS, JUMBO_MTU_BYTES, microseconds
+from repro.topology.route_table import NodePath, RouteTable
 
 #: signature of the callables used to create per-port queues
 QueueFactory = Callable[[EventList, int, str], BaseQueue]
@@ -40,16 +55,45 @@ def host_queue_factory(eventlist: EventList, rate_bps: int, name: str) -> DropTa
 
 @dataclass
 class LinkRecord:
-    """One directed link: who it connects and the elements that model it."""
+    """One directed link: who it connects, its elements, and its live state."""
 
     src_node: str
     dst_node: str
     queue: BaseQueue
     pipe: Pipe
+    #: False while the link is failed (routes through it are pruned)
+    up: bool = True
+    #: current service rate; diverges from ``nominal_rate_bps`` when degraded
+    rate_bps: int = 0
+    #: the rate the link was built with
+    nominal_rate_bps: int = 0
+    #: current one-way propagation delay
+    delay_ps: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        """True while the link runs below its construction-time rate."""
+        return self.rate_bps < self.nominal_rate_bps
 
     def elements(self) -> Tuple[BaseQueue, Pipe]:
         """The route elements a packet traverses to cross this link."""
         return (self.queue, self.pipe)
+
+
+@dataclass(frozen=True)
+class LinkStateEvent:
+    """One applied link-state change, delivered to topology subscribers."""
+
+    #: "fail" | "recover" | "rate" | "delay"
+    kind: str
+    src_node: str
+    dst_node: str
+    #: simulated time the change was applied
+    time_ps: int
+    #: new service rate ("rate" events only)
+    rate_bps: Optional[int] = None
+    #: new propagation delay ("delay" events only)
+    delay_ps: Optional[int] = None
 
 
 class Topology:
@@ -70,6 +114,13 @@ class Topology:
         self.host_nic_factory: QueueFactory = host_nic_factory or host_queue_factory
         self.links: Dict[Tuple[str, str], LinkRecord] = {}
         self.host_count = 0
+        #: resolves symbolic node paths to routes against the live link state
+        self.route_table = RouteTable(self)
+        #: bumped on changes that alter the surviving path set (fail/recover)
+        self.route_version = 0
+        #: bumped on *every* link-state change (rate/delay included)
+        self.link_state_version = 0
+        self._link_subscribers: List[Callable[[LinkStateEvent], None]] = []
 
     # --- construction helpers ----------------------------------------------------
 
@@ -89,30 +140,157 @@ class Topology:
         factory = self.host_nic_factory if is_host_uplink else self.queue_factory
         queue = factory(self.eventlist, rate, f"{src_node}->{dst_node}")
         pipe = Pipe(self.eventlist, delay, name=f"pipe:{src_node}->{dst_node}")
-        record = LinkRecord(src_node, dst_node, queue, pipe)
+        record = LinkRecord(
+            src_node, dst_node, queue, pipe,
+            rate_bps=rate, nominal_rate_bps=rate, delay_ps=delay,
+        )
         self.links[(src_node, dst_node)] = record
         return record
 
     def link(self, src_node: str, dst_node: str) -> LinkRecord:
-        """Look up the directed link *src*→*dst*."""
-        return self.links[(src_node, dst_node)]
+        """Look up the directed link *src*→*dst* (clear error when absent)."""
+        return self._require_link(src_node, dst_node)
 
     def queue(self, src_node: str, dst_node: str) -> BaseQueue:
         """The output queue of the directed link *src*→*dst*."""
-        return self.links[(src_node, dst_node)].queue
+        return self._require_link(src_node, dst_node).queue
+
+    # --- link-state API (fabric dynamics) ----------------------------------------
+
+    def _require_link(self, src_node: str, dst_node: str) -> LinkRecord:
+        record = self.links.get((src_node, dst_node))
+        if record is None:
+            raise KeyError(
+                f"no link {src_node}->{dst_node} in {self.__class__.__name__} "
+                f"({len(self.links)} directed links; node names look like "
+                f"{next(iter(self.links))[0]!r} -> {next(iter(self.links))[1]!r})"
+                if self.links
+                else f"no link {src_node}->{dst_node}: {self.__class__.__name__} "
+                f"has no links yet"
+            )
+        return record
+
+    def _link_state_changed(self, event: LinkStateEvent, reroutes: bool) -> None:
+        """Version the change and broadcast it to subscribers (post-apply)."""
+        self.link_state_version += 1
+        if reroutes:
+            self.route_version += 1
+        for callback in list(self._link_subscribers):
+            callback(event)
+
+    def fail_link(self, src_node: str, dst_node: str) -> None:
+        """Take the directed link *src*→*dst* down.
+
+        The link's queued backlog and the packet being serialized are lost
+        (dropped, counted in the queue's drop statistics); packets already on
+        the wire in the downstream pipe are delivered.  Routes through the
+        link are pruned from every subsequent :meth:`get_paths` answer and
+        subscribers are notified.  Idempotent.
+        """
+        record = self._require_link(src_node, dst_node)
+        if not record.up:
+            return
+        record.up = False
+        record.queue.sever()
+        self._link_state_changed(
+            LinkStateEvent("fail", src_node, dst_node, self.eventlist.now()),
+            reroutes=True,
+        )
+
+    def recover_link(self, src_node: str, dst_node: str) -> None:
+        """Bring a failed link back up (routes through it reappear).  Idempotent."""
+        record = self._require_link(src_node, dst_node)
+        if record.up:
+            return
+        record.up = True
+        record.queue.restore()
+        self._link_state_changed(
+            LinkStateEvent("recover", src_node, dst_node, self.eventlist.now()),
+            reroutes=True,
+        )
+
+    def fail_link_pair(self, node_a: str, node_b: str) -> None:
+        """Cut the cable: fail both directions between two nodes."""
+        self.fail_link(node_a, node_b)
+        self.fail_link(node_b, node_a)
+
+    def recover_link_pair(self, node_a: str, node_b: str) -> None:
+        """Restore both directions between two nodes."""
+        self.recover_link(node_a, node_b)
+        self.recover_link(node_b, node_a)
 
     def set_link_rate(self, src_node: str, dst_node: str, rate_bps: int) -> None:
-        """Change a link's rate in place (used for failure/degradation runs)."""
+        """Re-rate a link mid-run (degradation / renegotiation, Figure 22).
+
+        Applied through :meth:`~repro.sim.queues.BaseQueue.set_service_rate`,
+        which also refreshes the queue's memoized serialization times — the
+        previous in-place mutation left them at the old rate.  Raises a clear
+        ``KeyError`` for unknown links and ``ValueError`` for a non-positive
+        rate; subscribers receive a ``"rate"`` event (the path set is
+        unchanged, so nothing is re-routed — reacting to a degraded-but-alive
+        link is the job of the NDP path scoreboard).
+        """
         if rate_bps <= 0:
             raise ValueError(f"link rate must be positive, got {rate_bps}")
-        self.links[(src_node, dst_node)].queue.service_rate_bps = rate_bps
+        record = self._require_link(src_node, dst_node)
+        record.queue.set_service_rate(rate_bps)
+        record.rate_bps = rate_bps
+        self._link_state_changed(
+            LinkStateEvent(
+                "rate", src_node, dst_node, self.eventlist.now(), rate_bps=rate_bps
+            ),
+            reroutes=False,
+        )
+
+    def set_link_delay_ps(self, src_node: str, dst_node: str, delay_ps: int) -> None:
+        """Change a link's propagation delay mid-run (companion of rate changes).
+
+        Packets already in flight keep the delay they departed with.  Raises
+        ``KeyError`` for unknown links and ``ValueError`` for a negative
+        delay.
+        """
+        if delay_ps < 0:
+            raise ValueError(f"link delay must be non-negative, got {delay_ps}")
+        record = self._require_link(src_node, dst_node)
+        record.pipe.set_delay_ps(delay_ps)
+        record.delay_ps = delay_ps
+        self._link_state_changed(
+            LinkStateEvent(
+                "delay", src_node, dst_node, self.eventlist.now(), delay_ps=delay_ps
+            ),
+            reroutes=False,
+        )
+
+    def link_is_up(self, src_node: str, dst_node: str) -> bool:
+        """True while the directed link *src*→*dst* is not failed."""
+        return self._require_link(src_node, dst_node).up
+
+    def failed_links(self) -> List[Tuple[str, str]]:
+        """Every directed link currently down, in insertion order."""
+        return [key for key, record in self.links.items() if not record.up]
+
+    def subscribe_link_state(
+        self, callback: Callable[[LinkStateEvent], None]
+    ) -> Callable[[LinkStateEvent], None]:
+        """Register *callback* for link-state events; returns it for unsubscribe."""
+        self._link_subscribers.append(callback)
+        return callback
+
+    def unsubscribe_link_state(self, callback: Callable[[LinkStateEvent], None]) -> None:
+        """Remove a previously registered link-state callback (no-op if absent)."""
+        try:
+            self._link_subscribers.remove(callback)
+        except ValueError:
+            pass
 
     def route_from_nodes(self, nodes: Sequence[str], path_id: int = 0) -> Route:
-        """Build a route from a node path ``[src_host, ..., dst_host]``."""
-        elements: List[object] = []
-        for src_node, dst_node in zip(nodes, nodes[1:]):
-            elements.extend(self.links[(src_node, dst_node)].elements())
-        return Route(elements, path_id=path_id)
+        """Build a route from an explicit node path ``[src_host, ..., dst_host]``.
+
+        Raw access for tests and ad-hoc wiring: resolves through the route
+        table without link-state pruning or caching (a deliberately built
+        route over a failed link is the caller's business).
+        """
+        return self.route_table.resolve(nodes, path_id=path_id)
 
     # --- queries -----------------------------------------------------------------
 
@@ -124,13 +302,52 @@ class Topology:
         """All host identifiers in the topology."""
         return list(range(self.host_count))
 
-    def get_paths(self, src_host: int, dst_host: int) -> List[Route]:
-        """Every path from *src_host* to *dst_host* (overridden by subclasses)."""
+    def node_paths(self, src_host: int, dst_host: int) -> List[NodePath]:
+        """Symbolic enumeration of every physical path (subclass responsibility).
+
+        Returns node-name tuples ``(src_host_node, ..., dst_host_node)``;
+        the ``path_id`` of the resolved route is the tuple's position in
+        this list, so implementations must enumerate in a stable order.
+        """
         raise NotImplementedError
 
+    def get_paths(self, src_host: int, dst_host: int) -> List[Route]:
+        """Every *surviving* path from *src_host* to *dst_host* as a route.
+
+        Resolved through the :class:`~repro.topology.route_table.RouteTable`:
+        paths crossing a failed link are pruned (path ids of the survivors
+        are unchanged), and the result may be empty under a partition.
+        """
+        return self.route_table.routes(src_host, dst_host)
+
     def path_count(self, src_host: int, dst_host: int) -> int:
-        """Number of distinct paths between two hosts."""
+        """Number of distinct surviving paths between two hosts."""
         return len(self.get_paths(src_host, dst_host))
+
+    def tor_of_host(self, host: int) -> str:
+        """Node name of the first-hop (ToR) switch serving *host*.
+
+        The generic implementation follows the host's uplink; subclasses
+        with an addressing scheme override it with O(1) arithmetic.
+        """
+        host_node = self.host_name(host)
+        for (src, dst) in self.links:
+            if src == host_node:
+                return dst
+        raise KeyError(f"host {host} has no uplink in this topology")
+
+    def uplinks_of_node(self, node: str) -> List[Tuple[str, str]]:
+        """Directed non-host-facing links out of *node* (e.g. ToR uplinks).
+
+        Lets failure experiments target "the uplinks of host h's ToR"
+        uniformly across topologies:
+        ``topology.uplinks_of_node(topology.tor_of_host(h))``.
+        """
+        return [
+            (src, dst)
+            for (src, dst) in self.links
+            if src == node and not dst.startswith("host")
+        ]
 
     def all_queues(self) -> Iterable[BaseQueue]:
         """Every queue in the fabric (for statistics sweeps)."""

@@ -17,12 +17,12 @@ The class supports the two fabric variations the paper evaluates:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.sim.eventlist import EventList
-from repro.sim.packet import Route
 from repro.sim.units import DEFAULT_LINK_RATE_BPS, microseconds
 from repro.topology.base import QueueFactory, Topology
+from repro.topology.route_table import NodePath
 
 
 class FatTreeTopology(Topology):
@@ -128,9 +128,26 @@ class FatTreeTopology(Topology):
         """Node name of the ToR switch serving *host*."""
         return self._tor_name(self.host_pod(host), self.host_tor_index(host))
 
+    def hosts_of_tor(self, pod: int, tor_index: int) -> List[int]:
+        """Host identifiers attached to one ToR switch."""
+        first = pod * self.hosts_per_pod + tor_index * self.hosts_per_tor
+        return list(range(first, first + self.hosts_per_tor))
+
+    def core_agg_pair(self, core: int, pod: int) -> Tuple[str, str]:
+        """``(core_node, agg_node)`` endpoints of the core↔agg link into *pod*.
+
+        The canonical target of the paper's failure experiments (Figure 22's
+        degraded link, the mid-transfer cut of the ``failures`` family).
+        """
+        if not 0 <= core < self.core_count:
+            raise ValueError(f"core must be in [0, {self.core_count}), got {core}")
+        if not 0 <= pod < self.pods:
+            raise ValueError(f"pod must be in [0, {self.pods}), got {pod}")
+        return self._core_name(core), self._agg_name(pod, core // self.radix)
+
     # --- path enumeration --------------------------------------------------------------
 
-    def get_paths(self, src_host: int, dst_host: int) -> List[Route]:
+    def node_paths(self, src_host: int, dst_host: int) -> List[NodePath]:
         if src_host == dst_host:
             raise ValueError("source and destination host must differ")
         src_node = self.host_name(src_host)
@@ -140,31 +157,29 @@ class FatTreeTopology(Topology):
         dst_tor = self.tor_of_host(dst_host)
 
         if src_tor == dst_tor:
-            return [self.route_from_nodes([src_node, src_tor, dst_node], path_id=0)]
+            return [(src_node, src_tor, dst_node)]
 
-        routes: List[Route] = []
         if src_pod == dst_pod:
-            for agg_index in range(self.aggs_per_pod):
-                agg = self._agg_name(src_pod, agg_index)
-                routes.append(
-                    self.route_from_nodes(
-                        [src_node, src_tor, agg, dst_tor, dst_node], path_id=agg_index
-                    )
-                )
-            return routes
+            return [
+                (src_node, src_tor, self._agg_name(src_pod, agg_index), dst_tor, dst_node)
+                for agg_index in range(self.aggs_per_pod)
+            ]
 
+        paths: List[NodePath] = []
         for core in range(self.core_count):
             agg_index = core // self.radix
-            src_agg = self._agg_name(src_pod, agg_index)
-            dst_agg = self._agg_name(dst_pod, agg_index)
-            core_node = self._core_name(core)
-            routes.append(
-                self.route_from_nodes(
-                    [src_node, src_tor, src_agg, core_node, dst_agg, dst_tor, dst_node],
-                    path_id=core,
+            paths.append(
+                (
+                    src_node,
+                    src_tor,
+                    self._agg_name(src_pod, agg_index),
+                    self._core_name(core),
+                    self._agg_name(dst_pod, agg_index),
+                    dst_tor,
+                    dst_node,
                 )
             )
-        return routes
+        return paths
 
     # --- failure injection ----------------------------------------------------------------
 
@@ -175,11 +190,19 @@ class FatTreeTopology(Topology):
         renegotiates to a lower speed, creating an asymmetric fabric that
         per-packet spraying must route around.
         """
-        agg_index = core // self.radix
-        agg = self._agg_name(pod, agg_index)
-        core_node = self._core_name(core)
+        core_node, agg = self.core_agg_pair(core, pod)
         self.set_link_rate(core_node, agg, new_rate_bps)
         self.set_link_rate(agg, core_node, new_rate_bps)
+
+    def fail_core_link(self, core: int, pod: int) -> None:
+        """Cut the core↔aggregation cable into *pod* (both directions)."""
+        core_node, agg = self.core_agg_pair(core, pod)
+        self.fail_link_pair(core_node, agg)
+
+    def recover_core_link(self, core: int, pod: int) -> None:
+        """Restore the core↔aggregation cable into *pod* (both directions)."""
+        core_node, agg = self.core_agg_pair(core, pod)
+        self.recover_link_pair(core_node, agg)
 
     def uplink_queues(self) -> List[object]:
         """Queues on host→core direction above the ToR (ToR→agg and agg→core).

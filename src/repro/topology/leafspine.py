@@ -8,12 +8,12 @@ generalizes this to any number of leaves, spines and hosts per leaf.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.sim.eventlist import EventList
-from repro.sim.packet import Route
 from repro.sim.units import DEFAULT_LINK_RATE_BPS, microseconds
 from repro.topology.base import QueueFactory, Topology
+from repro.topology.route_table import NodePath
 
 
 class LeafSpineTopology(Topology):
@@ -73,7 +73,32 @@ class LeafSpineTopology(Topology):
         """Node name of the leaf (ToR) switch serving *host*."""
         return self._leaf_name(host // self.hosts_per_leaf)
 
-    def get_paths(self, src_host: int, dst_host: int) -> List[Route]:
+    # host-locality helpers, mirroring FatTreeTopology so failure experiments
+    # can target "the ToR of host h" without caring which topology is under
+    # them (a leaf *is* the ToR tier here)
+
+    def tor_of_host(self, host: int) -> str:
+        """Node name of the ToR (leaf) switch serving *host* (FatTree parity)."""
+        return self.leaf_of_host(host)
+
+    def host_tor_index(self, host: int) -> int:
+        """Index of the leaf (ToR) switch *host* attaches to."""
+        return host // self.hosts_per_leaf
+
+    def hosts_of_tor(self, leaf_index: int) -> List[int]:
+        """Host identifiers attached to one leaf (ToR) switch."""
+        first = leaf_index * self.hosts_per_leaf
+        return list(range(first, first + self.hosts_per_leaf))
+
+    def leaf_spine_pair(self, leaf_index: int, spine_index: int) -> Tuple[str, str]:
+        """``(leaf_node, spine_node)`` endpoints of one uplink cable."""
+        if not 0 <= leaf_index < self.leaves:
+            raise ValueError(f"leaf index must be in [0, {self.leaves}), got {leaf_index}")
+        if not 0 <= spine_index < self.spines:
+            raise ValueError(f"spine index must be in [0, {self.spines}), got {spine_index}")
+        return self._leaf_name(leaf_index), self._spine_name(spine_index)
+
+    def node_paths(self, src_host: int, dst_host: int) -> List[NodePath]:
         if src_host == dst_host:
             raise ValueError("source and destination host must differ")
         src_node = self.host_name(src_host)
@@ -81,11 +106,8 @@ class LeafSpineTopology(Topology):
         src_leaf = self.leaf_of_host(src_host)
         dst_leaf = self.leaf_of_host(dst_host)
         if src_leaf == dst_leaf:
-            return [self.route_from_nodes([src_node, src_leaf, dst_node], path_id=0)]
+            return [(src_node, src_leaf, dst_node)]
         return [
-            self.route_from_nodes(
-                [src_node, src_leaf, self._spine_name(spine), dst_leaf, dst_node],
-                path_id=spine,
-            )
+            (src_node, src_leaf, self._spine_name(spine), dst_leaf, dst_node)
             for spine in range(self.spines)
         ]

@@ -1,0 +1,102 @@
+"""Symbolic route resolution against the live link state.
+
+Topologies enumerate paths *symbolically* — :meth:`~repro.topology.base.Topology.node_paths`
+returns plain node-name tuples like ``("host0", "pod0_tor0", "pod0_agg1",
+"core5", "pod3_agg1", "pod3_tor1", "host13")`` — and every consumer obtains
+concrete :class:`~repro.sim.packet.Route` element lists through the
+topology's :class:`RouteTable`.  The table is what makes the fabric a
+*dynamic* object:
+
+* **resolution** walks each symbolic path over the topology's
+  :class:`~repro.topology.base.LinkRecord` map and emits the queue+pipe
+  element pair per hop — a path that traverses a link currently marked down
+  is pruned from the result;
+* **identity** — ``path_id`` is the index of the path in the *full* symbolic
+  enumeration, so a path keeps its identity across failure and recovery
+  (the NDP path scoreboard keys on it) and pruning never renumbers the
+  survivors;
+* **caching** — symbolic enumerations are immutable for a topology's
+  lifetime and cached forever; resolved route lists are cached per
+  link-state version (:attr:`~repro.topology.base.Topology.route_version`)
+  and recomputed lazily after a ``fail``/``recover`` event.  A static fabric
+  therefore resolves each (src, dst) pair exactly once, and repeated
+  ``get_paths`` calls return the *same* route objects — which is also what
+  keeps flow creation cheap on big fan-outs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple, TYPE_CHECKING
+
+from repro.sim.packet import Route
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.topology.base import Topology
+
+#: a symbolic path: the ordered node names a packet visits, hosts included
+NodePath = Tuple[str, ...]
+
+
+class RouteTable:
+    """Resolve a topology's symbolic node paths into live :class:`Route` lists."""
+
+    def __init__(self, topology: "Topology") -> None:
+        self._topology = topology
+        self._symbolic: Dict[Tuple[int, int], List[NodePath]] = {}
+        self._resolved: Dict[Tuple[int, int], Tuple[int, List[Route]]] = {}
+
+    # --- queries ---------------------------------------------------------------
+
+    def node_paths(self, src_host: int, dst_host: int) -> List[NodePath]:
+        """The full symbolic enumeration for a host pair (failures ignored)."""
+        key = (src_host, dst_host)
+        paths = self._symbolic.get(key)
+        if paths is None:
+            paths = [tuple(p) for p in self._topology.node_paths(src_host, dst_host)]
+            self._symbolic[key] = paths
+        return paths
+
+    def routes(self, src_host: int, dst_host: int) -> List[Route]:
+        """Every *surviving* path as a resolved route (dead links pruned).
+
+        ``path_id`` is the position in the symbolic enumeration, so the ids
+        of surviving paths are stable across any sequence of failures and
+        recoveries.  May be empty when every path is down (a partition).
+        """
+        key = (src_host, dst_host)
+        version = self._topology.route_version
+        cached = self._resolved.get(key)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        links = self._topology.links
+        routes: List[Route] = []
+        for path_id, nodes in enumerate(self.node_paths(src_host, dst_host)):
+            elements: List[object] = []
+            alive = True
+            for hop in zip(nodes, nodes[1:]):
+                record = links[hop]
+                if not record.up:
+                    alive = False
+                    break
+                elements.append(record.queue)
+                elements.append(record.pipe)
+            if alive:
+                routes.append(Route(elements, path_id=path_id))
+        self._resolved[key] = (version, routes)
+        return routes
+
+    def resolve(self, nodes: Sequence[str], path_id: int = 0) -> Route:
+        """Resolve one explicit node path, failed links included (raw access)."""
+        elements: List[object] = []
+        links = self._topology.links
+        for hop in zip(nodes, nodes[1:]):
+            record = links[hop]
+            elements.append(record.queue)
+            elements.append(record.pipe)
+        return Route(elements, path_id=path_id)
+
+    # --- cache control -----------------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Drop every resolved route list (symbolic enumerations are kept)."""
+        self._resolved.clear()

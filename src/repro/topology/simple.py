@@ -15,9 +15,9 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.sim.eventlist import EventList
-from repro.sim.packet import Route
 from repro.sim.units import DEFAULT_LINK_RATE_BPS, microseconds
 from repro.topology.base import QueueFactory, Topology
+from repro.topology.route_table import NodePath
 
 
 class SingleSwitchTopology(Topology):
@@ -57,15 +57,10 @@ class SingleSwitchTopology(Topology):
             self.add_link(host_node, self.SWITCH, is_host_uplink=True)
             self.add_link(self.SWITCH, host_node)
 
-    def get_paths(self, src_host: int, dst_host: int) -> List[Route]:
+    def node_paths(self, src_host: int, dst_host: int) -> List[NodePath]:
         if src_host == dst_host:
             raise ValueError("source and destination host must differ")
-        return [
-            self.route_from_nodes(
-                [self.host_name(src_host), self.SWITCH, self.host_name(dst_host)],
-                path_id=0,
-            )
-        ]
+        return [(self.host_name(src_host), self.SWITCH, self.host_name(dst_host))]
 
     def downlink_queue(self, host: int):
         """The switch output queue towards *host* (the incast hot spot)."""
@@ -94,11 +89,7 @@ class BackToBackTopology(Topology):
         self.add_link("host0", "host1", is_host_uplink=True)
         self.add_link("host1", "host0", is_host_uplink=True)
 
-    def get_paths(self, src_host: int, dst_host: int) -> List[Route]:
+    def node_paths(self, src_host: int, dst_host: int) -> List[NodePath]:
         if src_host == dst_host:
             raise ValueError("source and destination host must differ")
-        return [
-            self.route_from_nodes(
-                [self.host_name(src_host), self.host_name(dst_host)], path_id=0
-            )
-        ]
+        return [(self.host_name(src_host), self.host_name(dst_host))]
