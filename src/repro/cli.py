@@ -24,7 +24,13 @@ The ``sweep`` subcommand runs one experiment over the cartesian product of
 user-supplied parameter values.  ``--set key=v1,v2`` sweeps ``key`` over
 the listed values (each parsed as JSON, so ``--set 'windows=[1,2,4]'``
 passes a list as a *single* value); valid keys are the keyword arguments
-of the experiment's generator.
+of the experiment's generator.  As a shorthand, ``--set`` with a single
+experiment name implies ``sweep``::
+
+    python -m repro.cli load_fct --set load=0.3,0.6,0.9
+
+See ``docs/experiments.md`` for the catalogue of experiment families, the
+claims they pin and worked invocations.
 """
 
 from __future__ import annotations
@@ -64,6 +70,7 @@ EXPERIMENTS: Dict[str, tuple[str, Callable[[], object]]] = {
     "failures_degraded": ("permutation FCTs over a degraded core link", figures.failures_degraded),
     "failures_recovery": ("mid-transfer link failure + recovery timeline", figures.failures_recovery),
     "failures_klinks": ("permutation FCTs with k core links down", figures.failures_klinks),
+    "load_fct": ("open-loop load sweep: size-binned FCT slowdowns", figures.load_fct_slowdowns),
 }
 
 
@@ -110,7 +117,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.experiments[0] == "sweep":
         return _run_sweep(args.experiments[1:], args.grid, args.jobs, cache, args.quiet)
     if args.grid:
-        print("--set is only valid with the 'sweep' subcommand", file=sys.stderr)
+        # shorthand: `load_fct --set load=0.3,0.6` == `sweep load_fct --set ...`
+        # (an unknown single name falls through to _run_sweep's usage line,
+        # which lists the valid experiments)
+        if len(args.experiments) == 1:
+            return _run_sweep(args.experiments, args.grid, args.jobs, cache, args.quiet)
+        print("--set needs a single experiment name (or the 'sweep' subcommand)",
+              file=sys.stderr)
         return 2
 
     if "all" in args.experiments:

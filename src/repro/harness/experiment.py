@@ -256,6 +256,21 @@ def assert_all_complete(flows: Sequence[object]) -> LivenessReport:
     return report
 
 
+def run_open_loop(network, generator) -> List[FlowRecord]:
+    """Drive an open-loop generator through its full horizon.
+
+    Starts the generator at the event list's current time, runs the
+    simulation through warmup + measurement + drain, and returns the
+    completed measurement-window records — the population
+    :func:`~repro.harness.metrics.binned_slowdown_summary` consumes.
+    Censored flows (measured arrivals the drain failed to finish) remain
+    available via ``generator.measured_records(completed_only=False)``.
+    """
+    generator.start(at_time_ps=network.eventlist.now())
+    generator.run()
+    return generator.measured_records()
+
+
 def permutation_utilization(
     network_builder,
     flow_size_bytes: int = 50_000_000,

@@ -29,6 +29,7 @@ user-defined parameter grids.
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -62,8 +63,13 @@ from repro.topology import (
 )
 from repro.transports.constant_rate import ConstantRateSink, ConstantRateSource
 from repro.transports.tcp import TcpConfig
-from repro.workloads.flowsize import FacebookWebFlowSizes
+from repro.workloads.flowsize import (
+    DataMiningFlowSizes,
+    FacebookWebFlowSizes,
+    WebSearchFlowSizes,
+)
 from repro.workloads.generators import ClosedLoopGenerator
+from repro.workloads.openloop import OpenLoopGenerator
 
 #: protocols compared in the large-scale simulations, keyed by display name
 PROTOCOL_BUILDERS = {
@@ -1735,6 +1741,196 @@ def _failures_klinks_case(protocol, links_down, k, flow_bytes, timeout_ps, seed)
     }
 
 
+# ---------------------------------------------------------------------------
+# load_fct family — open-loop dynamic workloads: FCT slowdown vs offered load.
+# No single paper figure: the paper's short-flow-latency claims are evaluated
+# under continuous traffic, and load-vs-FCT-slowdown curves are the standard
+# lens for that axis (pFabric/pHost/Homa methodology).
+# ---------------------------------------------------------------------------
+
+#: the transports compared in the load sweeps: NDP against an ECN baseline
+#: (DCTCP) and a per-flow-ECMP loss-based control (TCP)
+_LOAD_FCT_BUILDERS = {
+    "NDP": NdpNetwork,
+    "DCTCP": DctcpNetwork,
+    "TCP": TcpNetwork,
+}
+
+#: empirical flow-size mixes selectable via the ``workload`` parameter
+_LOAD_FCT_WORKLOADS = {
+    "fbweb": FacebookWebFlowSizes,
+    "websearch": WebSearchFlowSizes,
+    "datamining": DataMiningFlowSizes,
+}
+
+
+def load_fct_plan(
+    load: Optional[float] = None,
+    loads: Sequence[float] = (0.1, 0.5, 0.9),
+    protocols: Optional[Sequence[str]] = None,
+    fabric: str = "fattree",
+    k: int = 4,
+    leaves: int = 4,
+    spines: int = 4,
+    hosts_per_leaf: int = 4,
+    workload: str = "fbweb",
+    matrix: str = "all_to_all",
+    warmup_ps: int = units.milliseconds(1),
+    measure_ps: int = units.milliseconds(2),
+    drain_ps: int = units.milliseconds(2),
+    seed: int = 33,
+) -> Plan:
+    """One spec per (load level, protocol) open-loop run.
+
+    ``load`` (a single level) overrides ``loads`` (the default sweep) — this
+    is what makes ``repro.cli load_fct --set load=0.3,0.6,0.9`` a natural
+    grid: each grid point builds a single-load plan.
+    """
+    if load is not None:
+        loads = (load,)
+    loads = tuple(float(level) for level in loads)
+    if not loads or not all(math.isfinite(level) and level > 0 for level in loads):
+        raise ValueError(f"loads must be positive finite fractions, got {loads}")
+    if fabric not in ("fattree", "leafspine"):
+        raise ValueError(f"fabric must be 'fattree' or 'leafspine', got {fabric!r}")
+    if workload not in _LOAD_FCT_WORKLOADS:
+        raise ValueError(
+            f"unknown workload {workload!r} (choose from "
+            f"{', '.join(_LOAD_FCT_WORKLOADS)})"
+        )
+    protocols = list(protocols) if protocols is not None else list(_LOAD_FCT_BUILDERS)
+    unknown = [name for name in protocols if name not in _LOAD_FCT_BUILDERS]
+    if unknown:
+        raise ValueError(
+            f"unknown protocol(s) {unknown} (choose from "
+            f"{', '.join(_LOAD_FCT_BUILDERS)})"
+        )
+    cases = [(level, name) for level in loads for name in protocols]
+    specs = [
+        RunSpec(
+            f"load_fct[{name},load={level:g},{fabric},{workload}]",
+            _load_fct_point,
+            dict(
+                protocol=name, load=level, fabric=fabric, k=k, leaves=leaves,
+                spines=spines, hosts_per_leaf=hosts_per_leaf, workload=workload,
+                matrix=matrix, warmup_ps=warmup_ps, measure_ps=measure_ps,
+                drain_ps=drain_ps, seed=seed,
+            ),
+        )
+        for level, name in cases
+    ]
+    return Plan(specs, lambda results: list(results))
+
+
+def load_fct_slowdowns(
+    load: Optional[float] = None,
+    loads: Sequence[float] = (0.1, 0.5, 0.9),
+    protocols: Optional[Sequence[str]] = None,
+    fabric: str = "fattree",
+    k: int = 4,
+    leaves: int = 4,
+    spines: int = 4,
+    hosts_per_leaf: int = 4,
+    workload: str = "fbweb",
+    matrix: str = "all_to_all",
+    warmup_ps: int = units.milliseconds(1),
+    measure_ps: int = units.milliseconds(2),
+    drain_ps: int = units.milliseconds(2),
+    seed: int = 33,
+) -> List[Dict[str, object]]:
+    """Size-binned FCT slowdowns of an open-loop load sweep.
+
+    An empirical flow-size mix (``workload``: ``fbweb`` / ``websearch`` /
+    ``datamining``) arrives Poisson at each target ``load`` (fraction of
+    bisection bandwidth, see :mod:`repro.workloads.openloop`) on a
+    ``fabric`` (``fattree`` with arity ``k``, or ``leafspine``), once per
+    protocol.  Flows arriving in the warmup window are discarded, flows in
+    the measurement window are scored, and the drain window lets stragglers
+    finish.  One row per (load, protocol) with per-size-bin
+    p50/p99/p999 slowdowns (vs :func:`~repro.harness.metrics.
+    ideal_transfer_time_ps`), completion/censoring counts and the seeded
+    arrival-sequence digest (cold, cached and parallel runs must agree
+    bit-for-bit).
+    """
+    return run_plan(
+        load_fct_plan(
+            load, loads, protocols, fabric, k, leaves, spines, hosts_per_leaf,
+            workload, matrix, warmup_ps, measure_ps, drain_ps, seed,
+        )
+    )
+
+
+def _open_loop_base_rtt_ps(topology) -> int:
+    """Propagation RTT of the fabric's longest host-to-host path.
+
+    The slowdown baseline's RTT component: twice the hop count of the
+    longest path between the first and last host (a cross-pod / cross-leaf
+    pair in the fabrics used here) times the per-hop propagation delay.
+    Serialization and queueing are deliberately excluded — they are what
+    the slowdown numerator measures.
+    """
+    hosts = topology.hosts()
+    paths = topology.node_paths(hosts[0], hosts[-1])
+    hops = max(len(path) - 1 for path in paths)
+    return 2 * hops * topology.link_delay_ps
+
+
+def _load_fct_point(
+    protocol, load, fabric, k, leaves, spines, hosts_per_leaf, workload,
+    matrix, warmup_ps, measure_ps, drain_ps, seed,
+):
+    """Unit run: one (protocol, load) row of the open-loop slowdown sweep."""
+    builder = _LOAD_FCT_BUILDERS[protocol]
+    eventlist = EventList()
+    if fabric == "fattree":
+        network = builder.build(eventlist, FatTreeTopology, k=k, seed=seed)
+    else:
+        network = builder.build(
+            eventlist, LeafSpineTopology,
+            leaves=leaves, spines=spines, hosts_per_leaf=hosts_per_leaf, seed=seed,
+        )
+    topology = network.topology
+    generator = OpenLoopGenerator(
+        eventlist,
+        network,
+        hosts=topology.hosts(),
+        flow_sizes=_LOAD_FCT_WORKLOADS[workload](),
+        target_load=load,
+        link_rate_bps=topology.link_rate_bps,
+        warmup_ps=warmup_ps,
+        measure_ps=measure_ps,
+        drain_ps=drain_ps,
+        matrix=matrix,
+        rng=random.Random(seed),
+    )
+    completed = experiment.run_open_loop(network, generator)
+    measured = generator.measured_records(completed_only=False)
+    # one normalization across all protocols: jumbo framing and the fabric's
+    # longest-path propagation RTT, so rows are comparable on a single axis
+    slowdown = metrics.binned_slowdown_summary(
+        completed,
+        link_rate_bps=topology.link_rate_bps,
+        mtu_bytes=units.JUMBO_MTU_BYTES,
+        header_bytes=units.HEADER_BYTES,
+        base_rtt_ps=_open_loop_base_rtt_ps(topology),
+    )
+    return {
+        "protocol": protocol,
+        "load": load,
+        "fabric": fabric,
+        "workload": workload,
+        "hosts": len(topology.hosts()),
+        "arrival_rate_per_second": generator.arrival_rate_per_second,
+        "offered_gbps": generator.offered_load_bps / 1e9,
+        "flows_offered": generator.flows_started,
+        "flows_measured": len(measured),
+        "measured_completed": len(completed),
+        "measured_censored": len(measured) - len(completed),
+        "arrival_digest": generator.arrival_digest(),
+        "slowdown": slowdown,
+    }
+
+
 #: experiment name (as used by ``python -m repro.cli``) -> plan builder.
 #: Every builder accepts the same keyword arguments as its generator and
 #: returns a :class:`~repro.harness.sweep.Plan`; this is the registry the
@@ -1763,4 +1959,5 @@ FIGURE_PLANS = {
     "failures_degraded": failures_degraded_plan,
     "failures_recovery": failures_recovery_plan,
     "failures_klinks": failures_klinks_plan,
+    "load_fct": load_fct_plan,
 }

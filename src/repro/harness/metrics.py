@@ -4,11 +4,17 @@ Nothing here depends on the protocols; the functions operate on plain
 numbers and :class:`~repro.sim.logger.FlowRecord` objects so that every
 transport (NDP, TCP, DCTCP, MPTCP, DCQCN, pHost, CP) is measured the same
 way.
+
+The **slowdown layer** (:func:`flow_slowdown`, :func:`slowdown_bin`,
+:func:`binned_slowdown_summary`) normalizes each flow's completion time by
+its :func:`ideal_transfer_time_ps` and aggregates the ratios into size bins
+— the standard lens for open-loop load sweeps (the ``load_fct`` family),
+where a 3 MB transfer and a 600 B RPC must be comparable on one axis.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.sim.logger import FlowRecord
 from repro.sim.units import SECOND, serialization_time_ps
@@ -31,7 +37,11 @@ def percentile(values: Sequence[float], fraction: float) -> float:
     values = list(values)
     if not values:
         raise ValueError("cannot take a percentile of an empty sequence")
-    ordered = sorted(values)
+    return _percentile_sorted(sorted(values), fraction)
+
+
+def _percentile_sorted(ordered: Sequence[float], fraction: float) -> float:
+    """:func:`percentile` over an already-sorted non-empty sequence."""
     if len(ordered) == 1:
         return float(ordered[0])
     position = fraction * (len(ordered) - 1)
@@ -126,6 +136,117 @@ def goodput_bps(record: FlowRecord, duration_ps: int) -> float:
     if duration_ps <= 0:
         raise ValueError("duration must be positive")
     return record.bytes_delivered * 8 * SECOND / duration_ps
+
+
+#: default flow-size bins for slowdown reporting: ``(label, inclusive upper
+#: bound in bytes)`` in ascending order, final bound ``None`` = unbounded.
+#: "small" covers single-RTT RPC traffic (the paper's short-flow-latency
+#: claims), "large" the megabyte-plus tail that dominates bytes in the
+#: empirical mixes; everything between is "medium".
+DEFAULT_SLOWDOWN_BINS: Tuple[Tuple[str, Optional[int]], ...] = (
+    ("small", 100_000),
+    ("medium", 1_000_000),
+    ("large", None),
+)
+
+
+def flow_slowdown(
+    record: FlowRecord,
+    link_rate_bps: int,
+    mtu_bytes: int,
+    header_bytes: int,
+    base_rtt_ps: int = 0,
+) -> float:
+    """FCT slowdown of one completed flow: actual FCT / ideal transfer time.
+
+    The denominator is :func:`ideal_transfer_time_ps` for the flow's
+    *advertised* size (``flow_size_bytes``, not bytes delivered) — the time
+    an unloaded single path of ``link_rate_bps`` would need, including
+    per-packet header overhead at the given MTU and an optional base RTT.
+    Use one ``(mtu_bytes, header_bytes, base_rtt_ps)`` triple across every
+    protocol in a comparison so the normalization, not the framing, is held
+    constant.
+
+    A slowdown of 1.0 is optimal.  Values slightly below 1.0 are possible
+    when ``base_rtt_ps`` overestimates the actual path (e.g. an intra-rack
+    flow normalized by the cross-core RTT); they are returned unclamped so
+    the baseline choice stays visible.  Raises ``ValueError`` for a flow
+    that has not completed (callers filter on ``record.completed``).
+    """
+    ideal = ideal_transfer_time_ps(
+        record.flow_size_bytes, link_rate_bps, mtu_bytes, header_bytes, base_rtt_ps
+    )
+    if ideal <= 0:
+        raise ValueError(f"ideal transfer time must be positive, got {ideal}")
+    return record.completion_time_ps() / ideal
+
+
+def slowdown_bin(
+    size_bytes: int,
+    bins: Sequence[Tuple[str, Optional[int]]] = DEFAULT_SLOWDOWN_BINS,
+) -> str:
+    """The bin label for a flow of *size_bytes*.
+
+    Bounds are **inclusive upper bounds**: with the default bins a
+    100 000-byte flow is "small" and a 100 001-byte flow is "medium".  The
+    final bin's bound may be ``None`` (unbounded); a size beyond every
+    finite bound raises ``ValueError`` so mis-specified custom bins fail
+    loudly instead of silently dropping the tail.
+    """
+    for label, upper in bins:
+        if upper is None or size_bytes <= upper:
+            return label
+    raise ValueError(
+        f"flow size {size_bytes} exceeds every bin bound "
+        f"(make the last bin unbounded with upper=None)"
+    )
+
+
+def binned_slowdown_summary(
+    records: Iterable[FlowRecord],
+    link_rate_bps: int,
+    mtu_bytes: int,
+    header_bytes: int,
+    base_rtt_ps: int = 0,
+    bins: Sequence[Tuple[str, Optional[int]]] = DEFAULT_SLOWDOWN_BINS,
+) -> Dict[str, dict]:
+    """Per-size-bin slowdown percentiles over the *completed* flows.
+
+    Returns ``{"all": {...}, "<bin>": {...}}`` where each value holds
+    ``count`` plus ``p50`` / ``p99`` / ``p999`` / ``mean`` / ``max``
+    slowdowns (the load_fct reporting set).  Incomplete records are
+    skipped — censoring is the caller's to report (e.g. via
+    ``OpenLoopGenerator.measured_records(completed_only=False)``) — and an
+    empty population yields ``{"count": 0}`` entries rather than raising,
+    so a measurement window with no completions is representable.
+    """
+    by_bin: Dict[str, List[float]] = {label: [] for label, _upper in bins}
+    everything: List[float] = []
+    for record in records:
+        if not record.completed:
+            continue
+        value = flow_slowdown(record, link_rate_bps, mtu_bytes, header_bytes, base_rtt_ps)
+        by_bin[slowdown_bin(record.flow_size_bytes, bins)].append(value)
+        everything.append(value)
+    summary = {"all": _slowdown_stats(everything)}
+    for label, _upper in bins:
+        summary[label] = _slowdown_stats(by_bin[label])
+    return summary
+
+
+def _slowdown_stats(values: Sequence[float]) -> dict:
+    """count/p50/p99/p999/mean/max of one slowdown population (0-safe)."""
+    if not values:
+        return {"count": 0}
+    ordered = sorted(values)  # one sort serves all three percentiles
+    return {
+        "count": len(ordered),
+        "p50": _percentile_sorted(ordered, 0.5),
+        "p99": _percentile_sorted(ordered, 0.99),
+        "p999": _percentile_sorted(ordered, 0.999),
+        "mean": mean(ordered),
+        "max": ordered[-1],
+    }
 
 
 def summarize_fcts_us(records: Iterable[FlowRecord]) -> dict:

@@ -9,7 +9,12 @@ The paper evaluates NDP under a handful of canonical datacenter workloads:
   19, 20);
 * **Facebook web workload** — heavy-tailed flow sizes with closed-loop
   arrivals on an oversubscribed fabric (Figure 23), synthesised from the
-  published distribution shape of Roy et al. [34].
+  published distribution shape of Roy et al. [34];
+* **open-loop load sweeps** (the ``load_fct`` family) — empirical flow-size
+  mixes (:class:`FacebookWebFlowSizes`, :class:`WebSearchFlowSizes`,
+  :class:`DataMiningFlowSizes`) arriving Poisson at a target fraction of
+  bisection bandwidth, with warmup/measurement/drain windows
+  (:class:`OpenLoopGenerator`, see :mod:`repro.workloads.openloop`).
 """
 
 from repro.workloads.traffic_matrices import (
@@ -18,11 +23,19 @@ from repro.workloads.traffic_matrices import (
     random_pairs,
 )
 from repro.workloads.flowsize import (
+    DataMiningFlowSizes,
+    EmpiricalFlowSizes,
     FacebookWebFlowSizes,
     FixedFlowSizes,
     FlowSizeDistribution,
+    WebSearchFlowSizes,
 )
-from repro.workloads.generators import ClosedLoopGenerator, PoissonArrivals
+from repro.workloads.generators import (
+    MAX_ARRIVAL_GAP_PS,
+    ClosedLoopGenerator,
+    PoissonArrivals,
+)
+from repro.workloads.openloop import OpenLoopFlow, OpenLoopGenerator
 
 __all__ = [
     "permutation_pairs",
@@ -30,7 +43,13 @@ __all__ = [
     "incast_pairs",
     "FlowSizeDistribution",
     "FixedFlowSizes",
+    "EmpiricalFlowSizes",
     "FacebookWebFlowSizes",
+    "WebSearchFlowSizes",
+    "DataMiningFlowSizes",
     "ClosedLoopGenerator",
     "PoissonArrivals",
+    "MAX_ARRIVAL_GAP_PS",
+    "OpenLoopFlow",
+    "OpenLoopGenerator",
 ]

@@ -1,16 +1,23 @@
 """Flow arrival processes.
 
-Two arrival models cover the paper's experiments:
+Three arrival models cover the paper's experiments and the load sweeps
+built on top of them:
 
 * :class:`ClosedLoopGenerator` — each host keeps a fixed number of
   connections in flight; when one completes, the next starts after a think
   gap.  Figure 23 uses this with a median 1 ms inter-flow gap and 5 or 10
   simultaneous connections per host.
-* :class:`PoissonArrivals` — open-loop Poisson flow arrivals, useful for
-  background-load experiments and extensions.
+* :class:`PoissonArrivals` — open-loop Poisson flow arrivals at an explicit
+  aggregate rate (flows/second), useful for background-load experiments.
+* :class:`~repro.workloads.openloop.OpenLoopGenerator` — the load-sweep
+  engine: sizes the Poisson rate from a *target load fraction*, tags flows
+  with warmup/measurement/drain windows, and exposes the seeded arrival
+  sequence for determinism assertions (see :mod:`repro.workloads.openloop`).
 
-Both are network-agnostic: they call ``network.create_flow`` through the
-uniform interface every ``*Network`` builder exposes.
+All generators are network-agnostic: they call ``network.create_flow``
+through the uniform interface every ``*Network`` builder exposes, and all
+randomness flows through one seeded ``random.Random`` so identically-seeded
+generators replay identical arrival sequences.
 """
 
 from __future__ import annotations
@@ -20,11 +27,45 @@ import random
 from typing import Callable, List, Optional, Sequence
 
 from repro.sim.eventlist import EventList
+from repro.sim.units import SECOND, seconds
 from repro.workloads.flowsize import FlowSizeDistribution
+
+#: longest inter-arrival gap a Poisson process will schedule (one simulated
+#: hour).  Extremely low rates (or the far tail of ``expovariate``) can
+#: produce gaps beyond any experiment horizon — or, past ~1e292 seconds,
+#: a float overflow to ``inf`` that ``int()`` cannot represent.  Clamping
+#: keeps ``_next_gap`` total and deterministic; any clamped arrival lands
+#: far outside every simulated horizon anyway.
+MAX_ARRIVAL_GAP_PS = seconds(3600)
+
+
+def poisson_gap_ps(rng: random.Random, rate_per_second: float) -> int:
+    """One exponential inter-arrival gap in whole picoseconds.
+
+    The single clamp discipline shared by every open-loop arrival process
+    (:class:`PoissonArrivals`, :class:`~repro.workloads.openloop.
+    OpenLoopGenerator`): exactly one ``rng`` draw per call, floored at one
+    picosecond so extreme rates cannot schedule two arrivals at the same
+    instant in the wrong order, and capped at :data:`MAX_ARRIVAL_GAP_PS`
+    (the ``>=`` comparison also catches a float overflow to ``inf``) so
+    tail draws at extremely low rates stay representable.  Clamped or not,
+    the arrival sequence stays seeded-identical.
+    """
+    gap_ps = rng.expovariate(rate_per_second) * SECOND
+    if gap_ps >= MAX_ARRIVAL_GAP_PS:  # also catches float('inf')
+        return MAX_ARRIVAL_GAP_PS
+    return max(1, int(gap_ps))
 
 
 class ClosedLoopGenerator:
-    """Keeps ``connections_per_host`` transfers in flight from every host."""
+    """Keeps ``connections_per_host`` transfers in flight from every host.
+
+    Arrivals are *closed-loop*: a host only starts its next transfer after
+    one of its outstanding transfers completes (plus an exponential think
+    gap with mean ``think_time_ps``), so offered load self-throttles under
+    congestion — the complement of the open-loop generators, whose arrival
+    clock never reacts to the network.
+    """
 
     def __init__(
         self,
@@ -95,7 +136,17 @@ class ClosedLoopGenerator:
 
 
 class PoissonArrivals:
-    """Open-loop Poisson flow arrivals at a configurable aggregate rate."""
+    """Open-loop Poisson flow arrivals at a configurable aggregate rate.
+
+    One exponential clock drives the whole process; each arrival draws, in
+    this fixed order, the inter-arrival gap, the ``(src, dst)`` pair and
+    the flow size from the single ``rng`` — so two identically-seeded
+    generators over identical host lists replay the exact same arrival
+    sequence (asserted in ``tests/workloads``).  For load-targeted arrivals
+    with measurement windows use
+    :class:`~repro.workloads.openloop.OpenLoopGenerator`, which builds on
+    the same gap discipline.
+    """
 
     def __init__(
         self,
@@ -107,8 +158,11 @@ class PoissonArrivals:
         rng: Optional[random.Random] = None,
         max_flows: Optional[int] = None,
     ) -> None:
-        if arrival_rate_per_second <= 0:
-            raise ValueError("arrival rate must be positive")
+        if not (math.isfinite(arrival_rate_per_second) and arrival_rate_per_second > 0):
+            raise ValueError(
+                f"arrival rate must be positive and finite, "
+                f"got {arrival_rate_per_second!r}"
+            )
         self.eventlist = eventlist
         self.network = network
         self.hosts = list(hosts)
@@ -126,8 +180,8 @@ class PoissonArrivals:
         self.eventlist.schedule(at_time_ps + self._next_gap(), self._arrival)
 
     def _next_gap(self) -> int:
-        seconds = self.rng.expovariate(self.rate)
-        return max(1, int(seconds * 1_000_000_000_000))
+        """Next inter-arrival gap (ps), via the shared :func:`poisson_gap_ps`."""
+        return poisson_gap_ps(self.rng, self.rate)
 
     def _arrival(self) -> None:
         if self.max_flows is not None and self.flows_started >= self.max_flows:

@@ -30,3 +30,27 @@ def test_readme_figure_index_is_complete():
 def test_repo_has_the_documentation_front_door():
     for path in ("README.md", os.path.join("docs", "architecture.md")):
         assert os.path.exists(os.path.join(check_docs.ROOT, path)), path
+
+
+def test_experiments_handbook_is_complete():
+    assert check_docs.check_experiments_handbook() == []
+
+
+def test_handbook_check_catches_an_undocumented_family(monkeypatch):
+    """A FIGURE_PLANS family absent from the handbook/index must fail loudly."""
+    from repro import cli
+    from repro.harness import figures
+
+    monkeypatch.setitem(figures.FIGURE_PLANS, "fig_unwritten", lambda: None)
+    monkeypatch.setitem(cli.EXPERIMENTS, "fig_unwritten", ("ghost", lambda: None))
+    problems = check_docs.check_experiments_handbook()
+    assert any("docs/experiments.md" in p and "fig_unwritten" in p for p in problems)
+    assert any("README.md" in p and "fig_unwritten" in p for p in problems)
+
+
+def test_handbook_check_catches_a_registry_mismatch(monkeypatch):
+    from repro.harness import figures
+
+    monkeypatch.setitem(figures.FIGURE_PLANS, "fig_orphan", lambda: None)
+    problems = check_docs.check_experiments_handbook()
+    assert any("registry mismatch" in p and "fig_orphan" in p for p in problems)

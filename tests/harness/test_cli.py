@@ -65,8 +65,13 @@ class TestRun:
         assert "all" in capsys.readouterr().err
         assert cli.main(["fig12", "all"]) == 2
 
-    def test_set_without_sweep_rejected(self, capsys):
-        assert cli.main(["fig12", "--set", "samples=10"]) == 2
+    def test_set_on_one_experiment_is_sweep_shorthand(self, capsys):
+        assert cli.main(["fig12", "--set", "samples=10", "-q"]) == 0
+        out = capsys.readouterr().out
+        assert "### fig12 [samples=10]" in out
+
+    def test_set_with_several_experiments_rejected(self, capsys):
+        assert cli.main(["fig12", "fig10", "--set", "samples=10"]) == 2
         assert "sweep" in capsys.readouterr().err
 
 

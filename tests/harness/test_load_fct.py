@@ -1,0 +1,124 @@
+"""Tests for the load_fct experiment family (open-loop load sweeps).
+
+The ISSUE 5 acceptance contract: a seeded load sweep whose cold, cached
+and parallel executions are bit-identical (same seed => same arrival
+sequence => same FlowRecords => same slowdown rows), decomposed into
+RunSpec units the PR-3 sweep engine runs unchanged.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import figures, sweep
+from repro.harness.sweep import ResultCache
+from repro.sim import units
+
+#: a parameterisation small enough for the unit-test budget (one load,
+#: one protocol per test where possible, sub-millisecond windows)
+TINY = dict(
+    loads=(0.2,),
+    fabric="fattree",
+    k=4,
+    workload="fbweb",
+    warmup_ps=units.microseconds(200),
+    measure_ps=units.microseconds(400),
+    drain_ps=units.microseconds(400),
+    seed=33,
+)
+
+
+class TestPlanShape:
+    def test_one_spec_per_load_and_protocol(self):
+        plan = figures.load_fct_plan(loads=(0.1, 0.5), protocols=["NDP", "TCP"])
+        assert len(plan.specs) == 4
+        assert plan.specs[0].experiment == "load_fct[NDP,load=0.1,fattree,fbweb]"
+
+    def test_scalar_load_overrides_the_sweep(self):
+        plan = figures.load_fct_plan(load=0.3, protocols=["NDP"])
+        assert len(plan.specs) == 1
+        assert plan.specs[0].kwargs["load"] == 0.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            figures.load_fct_plan(loads=())
+        with pytest.raises(ValueError):
+            figures.load_fct_plan(loads=(0.0,))
+        with pytest.raises(ValueError):
+            # NaN must fail at plan construction, not inside a sweep worker
+            figures.load_fct_plan(loads=(float("nan"),))
+        with pytest.raises(ValueError):
+            figures.load_fct_plan(load=float("inf"))
+        with pytest.raises(ValueError):
+            figures.load_fct_plan(fabric="torus")
+        with pytest.raises(ValueError):
+            figures.load_fct_plan(workload="uniform")
+        with pytest.raises(ValueError):
+            figures.load_fct_plan(protocols=["NDP", "CARRIER-PIGEON"])
+
+
+class TestDeterminism:
+    def test_cold_cached_and_parallel_runs_are_bit_identical(self, tmp_path):
+        plan = figures.load_fct_plan(protocols=["NDP", "TCP"], **TINY)
+        cache = ResultCache(str(tmp_path))
+
+        cold = sweep.run_plan(plan, jobs=1, cache=None)
+        populating = sweep.run_plan(plan, jobs=1, cache=cache)
+        cached = sweep.run_plan(plan, jobs=1, cache=cache)
+        parallel = sweep.run_plan(
+            plan, jobs=2, cache=ResultCache(str(tmp_path / "fresh"))
+        )
+
+        assert cold == populating == cached == parallel
+        assert cache.hits == len(plan.specs)  # third run was all disk hits
+
+    def test_same_seed_same_arrivals_across_protocols(self):
+        """The arrival clock is protocol-independent: one seed, one sequence."""
+        rows = sweep.run_plan(
+            figures.load_fct_plan(protocols=["NDP", "DCTCP"], **TINY), cache=None
+        )
+        ndp, dctcp = rows
+        assert ndp["protocol"] == "NDP" and dctcp["protocol"] == "DCTCP"
+        assert ndp["arrival_digest"] == dctcp["arrival_digest"]
+        assert ndp["flows_offered"] == dctcp["flows_offered"] > 0
+
+    def test_different_seed_different_arrivals(self):
+        changed = dict(TINY, seed=34)
+        base = sweep.run_plan(
+            figures.load_fct_plan(protocols=["NDP"], **TINY), cache=None
+        )[0]
+        other = sweep.run_plan(
+            figures.load_fct_plan(protocols=["NDP"], **changed), cache=None
+        )[0]
+        assert base["arrival_digest"] != other["arrival_digest"]
+
+
+class TestRowContents:
+    def test_row_reports_counts_and_binned_slowdowns(self):
+        row = sweep.run_plan(
+            figures.load_fct_plan(protocols=["NDP"], **TINY), cache=None
+        )[0]
+        assert row["hosts"] == 16
+        assert row["flows_offered"] >= row["flows_measured"] > 0
+        assert (
+            row["flows_measured"]
+            == row["measured_completed"] + row["measured_censored"]
+        )
+        slowdown = row["slowdown"]
+        assert set(slowdown) == {"all", "small", "medium", "large"}
+        assert slowdown["all"]["count"] == row["measured_completed"]
+        for stats in slowdown.values():
+            if stats["count"]:
+                assert stats["p50"] <= stats["p99"] <= stats["p999"] <= stats["max"]
+                assert stats["p50"] > 0.1  # a sane slowdown, not a unit bug
+
+    def test_leafspine_fabric_and_per_host_matrix(self):
+        row = sweep.run_plan(
+            figures.load_fct_plan(
+                protocols=["NDP"], matrix="per_host",
+                **dict(TINY, fabric="leafspine"),
+            ),
+            cache=None,
+        )[0]
+        assert row["fabric"] == "leafspine"
+        assert row["measured_completed"] > 0

@@ -166,3 +166,99 @@ class TestFlowRecord:
 
     def test_summarize_empty(self):
         assert metrics.summarize_fcts_us([]) == {"count": 0}
+
+
+class TestSlowdowns:
+    """The load_fct analysis layer: FCT / ideal, binned by flow size."""
+
+    LINK = gbps(10)
+    MTU, HEADER = 9000, 64
+
+    def _completed(self, size_bytes, fct_ps, flow_id=0):
+        record = FlowRecord(flow_id=flow_id, src=0, dst=1, flow_size_bytes=size_bytes)
+        record.start_time_ps = 0
+        record.finish_time_ps = fct_ps
+        record.bytes_delivered = size_bytes
+        return record
+
+    def test_hand_computed_slowdown(self):
+        # 8936 payload bytes -> exactly one 9000-byte packet on the wire:
+        # 9000 B at 10 Gb/s serializes in exactly 7.2 us
+        size = self.MTU - self.HEADER
+        ideal_ps = 7_200_000
+        assert metrics.ideal_transfer_time_ps(size, self.LINK, self.MTU, self.HEADER) == ideal_ps
+        record = self._completed(size, 2 * ideal_ps)
+        assert metrics.flow_slowdown(record, self.LINK, self.MTU, self.HEADER) == pytest.approx(2.0)
+
+    def test_base_rtt_enters_the_denominator(self):
+        size = self.MTU - self.HEADER
+        record = self._completed(size, 14_400_000)
+        with_rtt = metrics.flow_slowdown(
+            record, self.LINK, self.MTU, self.HEADER, base_rtt_ps=7_200_000
+        )
+        assert with_rtt == pytest.approx(1.0)
+
+    def test_slowdown_below_one_is_not_clamped(self):
+        # an overestimated RTT baseline must stay visible, not be floored
+        size = self.MTU - self.HEADER
+        record = self._completed(size, 7_200_000)
+        value = metrics.flow_slowdown(
+            record, self.LINK, self.MTU, self.HEADER, base_rtt_ps=7_200_000
+        )
+        assert value == pytest.approx(0.5)
+
+    def test_incomplete_flow_raises(self):
+        record = FlowRecord(flow_id=0, src=0, dst=1, flow_size_bytes=1000)
+        with pytest.raises(ValueError):
+            metrics.flow_slowdown(record, self.LINK, self.MTU, self.HEADER)
+
+    def test_bin_boundaries_are_inclusive_upper_bounds(self):
+        assert metrics.slowdown_bin(1) == "small"
+        assert metrics.slowdown_bin(100_000) == "small"
+        assert metrics.slowdown_bin(100_001) == "medium"
+        assert metrics.slowdown_bin(1_000_000) == "medium"
+        assert metrics.slowdown_bin(1_000_001) == "large"
+        assert metrics.slowdown_bin(10**12) == "large"
+
+    def test_bounded_custom_bins_reject_the_overflowing_tail(self):
+        bins = (("tiny", 100), ("bigger", 1000))
+        assert metrics.slowdown_bin(100, bins) == "tiny"
+        with pytest.raises(ValueError):
+            metrics.slowdown_bin(1001, bins)
+
+    def test_binned_summary_hand_computed(self):
+        size = self.MTU - self.HEADER  # ideal 7.2 us, "small" bin
+        ideal_ps = 7_200_000
+        records = [
+            self._completed(size, m * ideal_ps, flow_id=m) for m in (1, 2, 3, 4)
+        ]
+        # a "large" flow at exactly 2x ideal
+        big = 10 * 8936 * 14  # 1.25 MB, 140 packets
+        big_ideal = metrics.ideal_transfer_time_ps(big, self.LINK, self.MTU, self.HEADER)
+        records.append(self._completed(big, 2 * big_ideal, flow_id=99))
+        summary = metrics.binned_slowdown_summary(records, self.LINK, self.MTU, self.HEADER)
+        assert summary["small"]["count"] == 4
+        assert summary["small"]["p50"] == pytest.approx(2.5)
+        assert summary["small"]["mean"] == pytest.approx(2.5)
+        assert summary["small"]["max"] == pytest.approx(4.0)
+        assert summary["medium"] == {"count": 0}
+        assert summary["large"]["count"] == 1
+        assert summary["large"]["p50"] == pytest.approx(2.0)
+        assert summary["all"]["count"] == 5
+        assert set(summary["all"]) == {"count", "p50", "p99", "p999", "mean", "max"}
+
+    def test_incomplete_records_are_skipped_not_fatal(self):
+        size = self.MTU - self.HEADER
+        records = [
+            self._completed(size, 14_400_000),
+            FlowRecord(flow_id=1, src=0, dst=1, flow_size_bytes=size),  # censored
+        ]
+        summary = metrics.binned_slowdown_summary(records, self.LINK, self.MTU, self.HEADER)
+        assert summary["all"]["count"] == 1
+
+    def test_empty_population(self):
+        summary = metrics.binned_slowdown_summary([], self.LINK, self.MTU, self.HEADER)
+        assert summary == {
+            "all": {"count": 0}, "small": {"count": 0},
+            "medium": {"count": 0}, "large": {"count": 0},
+        }

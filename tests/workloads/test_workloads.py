@@ -12,11 +12,17 @@ from repro.sim import units
 from repro.sim.eventlist import EventList
 from repro.topology import SingleSwitchTopology
 from repro.workloads.flowsize import (
+    DataMiningFlowSizes,
     EmpiricalFlowSizes,
     FacebookWebFlowSizes,
     FixedFlowSizes,
+    WebSearchFlowSizes,
 )
-from repro.workloads.generators import ClosedLoopGenerator, PoissonArrivals
+from repro.workloads.generators import (
+    MAX_ARRIVAL_GAP_PS,
+    ClosedLoopGenerator,
+    PoissonArrivals,
+)
 from repro.workloads.traffic_matrices import incast_pairs, permutation_pairs, random_pairs
 
 
@@ -112,6 +118,32 @@ class TestFlowSizes:
         value = dist.sample(random.Random(seed))
         assert 1 <= value <= 1000
 
+    def test_mean_bytes_is_exact_for_the_interpolated_distribution(self):
+        # one segment, uniform on [100, 300]: mean is the midpoint
+        dist = EmpiricalFlowSizes([(100, 0.0), (300, 1.0)])
+        assert dist.mean_bytes() == 200.0
+        assert FixedFlowSizes(9_000).mean_bytes() == 9_000.0
+
+    def test_mean_bytes_tracks_sampling(self):
+        """The analytic mean must match the sampled mean (rate sizing relies on it)."""
+        for dist in (FacebookWebFlowSizes(), WebSearchFlowSizes(), DataMiningFlowSizes()):
+            rng = random.Random(11)
+            sampled = sum(dist.sample_many(rng, 40_000)) / 40_000
+            assert abs(sampled - dist.mean_bytes()) / dist.mean_bytes() < 0.25
+
+    def test_empirical_mix_shapes(self):
+        """Web-search and data-mining keep their published character."""
+        websearch, datamining = WebSearchFlowSizes(), DataMiningFlowSizes()
+        # web-search: megabyte-scale mean, tens-of-kB median
+        assert 1_000_000 < websearch.mean_bytes() < 5_000_000
+        rng = random.Random(12)
+        ws_median = sorted(websearch.sample_many(rng, 4001))[2000]
+        assert 30_000 < ws_median < 200_000
+        # data-mining: sub-2kB median yet a mean thousands of times larger
+        assert datamining.mean_bytes() > 5_000_000
+        dm_median = sorted(datamining.sample_many(rng, 4001))[2000]
+        assert dm_median < 2_000
+
 
 class TestGenerators:
     def _network(self, hosts=4):
@@ -183,11 +215,64 @@ class TestGenerators:
 
     def test_poisson_validation(self):
         eventlist, network = self._network()
-        with pytest.raises(ValueError):
-            PoissonArrivals(
+        for bad_rate in (0, -5, float("inf"), float("nan")):
+            with pytest.raises(ValueError):
+                PoissonArrivals(
+                    eventlist,
+                    network,
+                    hosts=network.topology.hosts(),
+                    flow_sizes=FixedFlowSizes(100),
+                    arrival_rate_per_second=bad_rate,
+                )
+
+    def _poisson(self, network, eventlist, rate, seed=21, max_flows=None):
+        return PoissonArrivals(
+            eventlist,
+            network,
+            hosts=network.topology.hosts(),
+            flow_sizes=FixedFlowSizes(9_000),
+            arrival_rate_per_second=rate,
+            rng=random.Random(seed),
+            max_flows=max_flows,
+        )
+
+    def test_poisson_gap_is_always_at_least_one_picosecond(self):
+        """Extreme rates must not schedule two arrivals at the same instant."""
+        eventlist, network = self._network()
+        arrivals = self._poisson(network, eventlist, rate=1e30)
+        assert all(arrivals._next_gap() >= 1 for _ in range(1000))
+
+    def test_poisson_gap_is_capped_under_extreme_low_rates(self):
+        """Rates near float underflow used to overflow int(seconds * 1e12)."""
+        eventlist, network = self._network()
+        arrivals = self._poisson(network, eventlist, rate=1e-300)
+        gaps = [arrivals._next_gap() for _ in range(100)]
+        assert all(gap == MAX_ARRIVAL_GAP_PS for gap in gaps)
+        # a merely-low rate clamps the tail but still terminates
+        slow = self._poisson(network, eventlist, rate=1e-6)
+        assert all(1 <= slow._next_gap() <= MAX_ARRIVAL_GAP_PS for _ in range(100))
+
+    def test_poisson_arrival_sequence_is_seed_reproducible(self):
+        """Same seed, same hosts => byte-identical arrival sequences."""
+        def sequence(seed):
+            eventlist, network = self._network(hosts=6)
+            arrivals = PoissonArrivals(
                 eventlist,
                 network,
                 hosts=network.topology.hosts(),
-                flow_sizes=FixedFlowSizes(100),
-                arrival_rate_per_second=0,
+                flow_sizes=FacebookWebFlowSizes(),
+                arrival_rate_per_second=300_000,
+                rng=random.Random(seed),
+                max_flows=40,
             )
+            arrivals.start()
+            eventlist.run(until=units.milliseconds(2))
+            return [
+                (f.record.start_time_ps, f.record.src, f.record.dst,
+                 f.record.flow_size_bytes)
+                for f in arrivals.flows
+            ]
+
+        first, second = sequence(33), sequence(33)
+        assert first and first == second
+        assert sequence(34) != first

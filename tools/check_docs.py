@@ -10,7 +10,11 @@ Checks, without any network access:
    is mentioned in the README's figure index, so the front door can never
    silently fall out of date;
 3. every markdown anchor referenced as ``path#anchor`` exists as a heading
-   in the target file (GitHub-style slugs).
+   in the target file (GitHub-style slugs);
+4. every experiment family in ``repro.harness.figures.FIGURE_PLANS`` is
+   covered by the experiments handbook (``docs/experiments.md``) *and* the
+   README figure index, and the two registries (``FIGURE_PLANS`` /
+   ``EXPERIMENTS``) agree — the experiment catalogue cannot rot.
 
 Run from anywhere: ``python tools/check_docs.py``.  Exits non-zero and
 prints one line per problem; also exercised by ``tests/docs/test_docs.py``
@@ -96,8 +100,53 @@ def check_figure_index() -> List[str]:
     ]
 
 
+def check_experiments_handbook() -> List[str]:
+    """Every FIGURE_PLANS family must appear in the handbook and README index.
+
+    Names are looked up as backticked code spans (`` `name` ``), the way
+    both documents list experiments.  Also asserts the plan registry and
+    the CLI catalogue name the same families: an experiment reachable from
+    one entry point but not the other is a wiring bug, not a docs bug, but
+    it surfaces here because this is the only place both are imported.
+    """
+    sys.path.insert(0, os.path.join(ROOT, "src"))
+    try:
+        from repro.cli import EXPERIMENTS
+        from repro.harness.figures import FIGURE_PLANS
+    except Exception as error:  # pragma: no cover - import environment issue
+        return [f"could not import repro to verify the experiments handbook: {error}"]
+    problems = []
+    for name in sorted(set(FIGURE_PLANS) ^ set(EXPERIMENTS)):
+        problems.append(
+            f"registry mismatch: experiment {name!r} is missing from "
+            f"{'repro.cli.EXPERIMENTS' if name in FIGURE_PLANS else 'FIGURE_PLANS'}"
+        )
+    handbook = os.path.join(ROOT, "docs", "experiments.md")
+    if not os.path.exists(handbook):
+        return problems + ["docs/experiments.md is missing"]
+    with open(handbook, "r", encoding="utf-8") as fh:
+        handbook_text = fh.read()
+    readme_text = ""
+    readme = os.path.join(ROOT, "README.md")
+    if os.path.exists(readme):
+        with open(readme, "r", encoding="utf-8") as fh:
+            readme_text = fh.read()
+    for name in FIGURE_PLANS:
+        if f"`{name}`" not in handbook_text:
+            problems.append(
+                f"docs/experiments.md: experiment family {name!r} missing "
+                f"from the handbook"
+            )
+        if f"`{name}`" not in readme_text:
+            problems.append(
+                f"README.md: experiment family {name!r} missing from the "
+                f"figure index"
+            )
+    return problems
+
+
 def main() -> int:
-    problems = check_links() + check_figure_index()
+    problems = check_links() + check_figure_index() + check_experiments_handbook()
     for problem in problems:
         print(problem, file=sys.stderr)
     if problems:
