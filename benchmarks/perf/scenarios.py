@@ -1,4 +1,4 @@
-"""The two scheduler-stress scenarios the perf trajectory is measured on.
+"""The scheduler-stress scenarios the perf trajectory is measured on.
 
 * ``run_permutation`` — a 128-host fat-tree permutation (Figure 14's shape):
   every host sends to exactly one other host, so every link is busy and the
@@ -8,8 +8,13 @@
   serializes the retransmissions, and historically every data packet armed
   an RTO timer that lingered in the heap, making this the scheduler's
   worst case.
+* ``run_transport_matrix`` — one seeded 8-sender incast per transport in
+  the registry (NDP, TCP, DCTCP, MPTCP, DCQCN, pHost), so the bake-off
+  matrix has a timing and behaviour-digest trail: a change to the shared
+  simulation core that silently alters *any* protocol's packet-level
+  behaviour shows up as a digest mismatch here.
 
-Both scenarios are fully seeded.  Besides timing, each run produces a SHA-256
+All scenarios are fully seeded.  Besides timing, each run produces a SHA-256
 digest of every flow record and the switch trim counters, so a scheduler
 change can be checked for bit-identical protocol behaviour (the acceptance
 bar for the fast-path rework).
@@ -29,6 +34,8 @@ from repro.harness.ndp_network import NdpNetwork
 from repro.sim.eventlist import EventList
 from repro.topology.fattree import FatTreeTopology
 from repro.topology.leafspine import LeafSpineTopology
+from repro.topology.simple import SingleSwitchTopology
+from repro.transports import registry
 
 #: events executed per chunk between pending-queue size samples
 _CHUNK_EVENTS = 20_000
@@ -205,7 +212,74 @@ def run_incast(seed: int = 1, repeats: int = DEFAULT_REPEATS) -> PerfResult:
     return _best_of(once, repeats)
 
 
+def generic_flow_digest(network) -> str:
+    """Transport-agnostic digest: flow records plus fabric loss counters.
+
+    Works for every ``*Network`` in the registry: receiver records always
+    exist; sender-side records are hashed when the flow handle exposes them
+    (MPTCP's subflow bundle does not).
+    """
+    hasher = hashlib.sha256()
+    for flow in network.flows:
+        hasher.update(repr(_record_tuple(flow.record)).encode())
+        sender = getattr(flow, "sender_record", None)
+        if sender is not None:
+            hasher.update(repr(_record_tuple(sender)).encode())
+    hasher.update(
+        f"trimmed={network.topology.total_trimmed()}:"
+        f"dropped={network.topology.total_dropped()}".encode()
+    )
+    return hasher.hexdigest()
+
+
+def run_transport_matrix(seed: int = 1, repeats: int = 3) -> PerfResult:
+    """One 8-sender, 45 kB incast per registered transport on a 9-host star.
+
+    The aggregate digest chains every transport's behaviour digest, so a
+    core change that perturbs any protocol — not just NDP — breaks the
+    match; per-transport digests and event counts land in ``extra``.
+    """
+
+    def once() -> PerfResult:
+        wall_total = 0.0
+        events_total = 0
+        peak_overall = 0
+        completed = total = 0
+        final_time = 0
+        extra: Dict[str, float] = {}
+        hasher = hashlib.sha256()
+        for spec in registry.specs():
+            eventlist = EventList()
+            network = spec.build(eventlist, SingleSwitchTopology, seed=seed, hosts=9)
+            flows = start_incast(network, 0, list(range(1, 9)), bytes_per_sender=45_000)
+            wall, events, peak = _timed_run(eventlist, flows, until_ps=60_000_000_000)
+            digest = generic_flow_digest(network)
+            hasher.update(f"{spec.display}:{digest}".encode())
+            wall_total += wall
+            events_total += events
+            peak_overall = max(peak_overall, peak)
+            completed += sum(1 for f in flows if f.complete)
+            total += len(flows)
+            final_time = max(final_time, eventlist.now())
+            extra[f"events_{spec.name}"] = events
+            extra[f"digest_{spec.name}"] = digest
+        return PerfResult(
+            scenario="transport_matrix_8x45kB",
+            wall_seconds=wall_total,
+            events_executed=events_total,
+            peak_pending_events=peak_overall,
+            completed_flows=completed,
+            total_flows=total,
+            final_time_ps=final_time,
+            flow_digest=hasher.hexdigest(),
+            extra=extra,
+        )
+
+    return _best_of(once, repeats)
+
+
 SCENARIOS = {
     "permutation": run_permutation,
     "incast": run_incast,
+    "transport_matrix": run_transport_matrix,
 }

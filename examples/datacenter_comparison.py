@@ -14,25 +14,19 @@ Run with::
 import random
 
 from repro.harness import experiment
-from repro.harness.baseline_networks import DcqcnNetwork, DctcpNetwork, MptcpNetwork
-from repro.harness.ndp_network import NdpNetwork
 from repro.sim import EventList, units
 from repro.topology import FatTreeTopology
+from repro.transports import registry
 
-PROTOCOLS = {
-    "NDP": NdpNetwork,
-    "MPTCP": MptcpNetwork,
-    "DCTCP": DctcpNetwork,
-    "DCQCN": DcqcnNetwork,
-}
+PROTOCOLS = (registry.NDP, registry.MPTCP, registry.DCTCP, registry.DCQCN)
 
 
 def main() -> None:
     duration = units.milliseconds(2)
     print(f"{'protocol':8s} {'utilization':>12s} {'min':>7s} {'median':>7s} {'max':>7s}  (Gb/s per flow)")
-    for name, builder in PROTOCOLS.items():
+    for name in PROTOCOLS:
         eventlist = EventList()
-        network = builder.build(eventlist, FatTreeTopology, k=4)
+        network = registry.build_network(name, eventlist, FatTreeTopology, k=4)
         flows = experiment.start_permutation(
             network, flow_size_bytes=200_000_000, rng=random.Random(3)
         )

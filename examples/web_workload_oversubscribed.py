@@ -19,10 +19,9 @@ import random
 
 from repro.core.config import NdpConfig
 from repro.harness import metrics
-from repro.harness.baseline_networks import DctcpNetwork
-from repro.harness.ndp_network import NdpNetwork
 from repro.sim import EventList, units
 from repro.topology import FatTreeTopology
+from repro.transports import registry
 from repro.workloads.flowsize import FacebookWebFlowSizes
 from repro.workloads.generators import ClosedLoopGenerator
 
@@ -30,10 +29,10 @@ DURATION = units.milliseconds(30)
 CONNECTIONS_PER_HOST = 5
 
 
-def run(label, builder, **build_kwargs):
+def run(label, **build_kwargs):
     eventlist = EventList()
-    network = builder.build(
-        eventlist, FatTreeTopology, k=4, oversubscription=4.0, **build_kwargs
+    network = registry.build_network(
+        label, eventlist, FatTreeTopology, k=4, oversubscription=4.0, **build_kwargs
     )
     generator = ClosedLoopGenerator(
         eventlist,
@@ -60,9 +59,9 @@ def run(label, builder, **build_kwargs):
 
 def main() -> None:
     print("Facebook-web workload, 16-host FatTree, 4:1 oversubscribed core\n")
-    run("NDP", NdpNetwork, config=NdpConfig(mtu_bytes=1500, header_queue_bytes=8 * 1500))
+    run(registry.NDP, config=NdpConfig(mtu_bytes=1500, header_queue_bytes=8 * 1500))
     print()
-    run("DCTCP", DctcpNetwork)
+    run(registry.DCTCP)
 
 
 if __name__ == "__main__":

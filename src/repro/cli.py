@@ -29,6 +29,17 @@ experiment name implies ``sweep``::
 
     python -m repro.cli load_fct --set load=0.3,0.6,0.9
 
+Protocol-parametric families accept ``--set protocol=...`` with any
+registered transport name, case-insensitively (``ndp``, ``DCTCP``,
+``phost``, ...; see :mod:`repro.transports.registry`)::
+
+    python -m repro.cli load_fct --set protocol=ndp,dctcp,dcqcn,phost,mptcp,tcp
+
+Grid points whose (protocol, family) combination the registry knows to be
+meaningless — e.g. DCQCN, which needs an intact PFC fabric, under a
+link-severing failure family — are reported as skipped with the reason
+instead of failing the sweep.
+
 See ``docs/experiments.md`` for the catalogue of experiment families, the
 claims they pin and worked invocations.
 """
@@ -44,6 +55,7 @@ import time
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence
 
 from repro.harness import figures, sweep
+from repro.transports.registry import IncompatibleTransportError
 
 #: experiment name -> (description, callable)
 EXPERIMENTS: Dict[str, tuple[str, Callable[[], object]]] = {
@@ -64,7 +76,7 @@ EXPERIMENTS: Dict[str, tuple[str, Callable[[], object]]] = {
     "fig21": ("sender-limited traffic throughput table", figures.figure21_sender_limited),
     "fig22": ("permutation with a degraded core link", figures.figure22_asymmetry),
     "fig23": ("oversubscribed fabric, web workload", figures.figure23_oversubscribed_web),
-    "phost": ("NDP vs pHost (no trimming)", figures.phost_comparison),
+    "phost": ("NDP vs pHost (no trimming)", figures.phost_comparison),  # transport-name-ok: experiment family
     "scaling": ("permutation utilization vs topology size", figures.scaling_utilization),
     "uplinks": ("where packets get trimmed (load balancing)", figures.uplink_trimming_study),
     "failures_degraded": ("permutation FCTs over a degraded core link", figures.failures_degraded),
@@ -204,15 +216,24 @@ def _run_sweep(
         dict(zip(keys, values))
         for values in itertools.product(*(grid[key] for key in keys))
     ]
-    try:
-        plans = [plan_builder(**combo) for combo in combos]
-    except Exception as error:
-        print(f"could not build {name} specs from the given grid: {error}",
-              file=sys.stderr)
-        return 2
+    # Build each grid point's plan independently: a combination the transport
+    # registry rejects (e.g. protocol=dcqcn under a link-severing family) is
+    # skipped with its reason rather than failing the whole sweep.  The skip
+    # set is deterministic — it depends only on the grid, in product order.
+    built: List[tuple] = []  # (combo, plan or None, skip reason or None)
+    for combo in combos:
+        try:
+            built.append((combo, plan_builder(**combo), None))
+        except IncompatibleTransportError as error:
+            built.append((combo, None, str(error)))
+        except Exception as error:
+            print(f"could not build {name} specs from the given grid: {error}",
+                  file=sys.stderr)
+            return 2
     all_specs: List[sweep.RunSpec] = []
-    for plan in plans:
-        all_specs.extend(plan.specs)
+    for _combo, plan, _reason in built:
+        if plan is not None:
+            all_specs.extend(plan.specs)
 
     started = time.time()
     baseline = _cache_counters(cache)
@@ -226,12 +247,22 @@ def _run_sweep(
         return 1
 
     offset = 0
-    for combo, plan in zip(combos, plans):
+    skipped = 0
+    for combo, plan, reason in built:
+        label = ", ".join(f"{key}={value}" for key, value in combo.items()) or "defaults"
+        if plan is None:
+            skipped += 1
+            print(f"\n### {name} [{label}] — skipped: {reason}")
+            continue
         combo_results = results[offset:offset + len(plan.specs)]
         offset += len(plan.specs)
-        label = ", ".join(f"{key}={value}" for key, value in combo.items()) or "defaults"
         print(f"\n### {name} [{label}]")
         _print_result(plan.assemble(combo_results))
+    if skipped:
+        print(
+            f"\n{skipped} of {len(built)} grid points skipped "
+            f"(incompatible protocol/family combinations)"
+        )
     _print_run_summary(len(all_specs), cache, baseline, started)
     return 0
 

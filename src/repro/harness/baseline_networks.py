@@ -26,6 +26,7 @@ from repro.sim.eventlist import EventList
 from repro.sim.logger import FlowRecord
 from repro.sim.queues import DropTailQueue, ECNQueue, LosslessQueue
 from repro.topology.base import Topology
+from repro.transports.capabilities import CapabilityError, TransportCapabilities
 from repro.transports.dcqcn import DcqcnConfig, DcqcnSink, DcqcnSrc
 from repro.transports.dctcp import DctcpConfig, DctcpSink, DctcpSrc
 from repro.transports.mptcp import MptcpConfig, MptcpConnection
@@ -147,6 +148,9 @@ class _BaseNetwork:
 class TcpNetwork(_BaseNetwork):
     """TCP NewReno over drop-tail switches with per-flow ECMP."""
 
+    #: what this transport needs from the fabric (see the transport registry)
+    CAPABILITIES = TransportCapabilities()
+
     #: output-queue depth, packets (the paper's 200-packet buffers)
     BUFFER_PACKETS = 200
 
@@ -257,6 +261,8 @@ class TcpNetwork(_BaseNetwork):
 class DctcpNetwork(TcpNetwork):
     """DCTCP over ECN-marking switches."""
 
+    CAPABILITIES = TransportCapabilities(uses_ecn=True)
+
     #: marking threshold, packets (the paper uses 30 for DCTCP)
     MARKING_THRESHOLD_PACKETS = 30
 
@@ -296,6 +302,8 @@ class DctcpNetwork(TcpNetwork):
 class MptcpNetwork(TcpNetwork):
     """MPTCP (LIA) over drop-tail switches, one subflow per path."""
 
+    CAPABILITIES = TransportCapabilities(multipath=True)
+
     @classmethod
     def _default_config(cls) -> MptcpConfig:
         return MptcpConfig()
@@ -334,8 +342,33 @@ class MptcpNetwork(TcpNetwork):
 class DcqcnNetwork(TcpNetwork):
     """DCQCN over a lossless (PFC) fabric with ECN marking."""
 
+    CAPABILITIES = TransportCapabilities(needs_lossless_fabric=True, uses_ecn=True)
+
     #: ECN marking threshold, packets (the paper uses 20 for DCQCN)
     MARKING_THRESHOLD_PACKETS = 20
+
+    def __init__(self, topology: Topology, config: Optional[DcqcnConfig] = None, seed: int = 1):
+        self._validate_lossless_fabric(topology)
+        super().__init__(topology, config=config, seed=seed)
+
+    @staticmethod
+    def _validate_lossless_fabric(topology: Topology) -> None:
+        """Refuse fabrics whose switch ports can drop (silent mis-simulation).
+
+        DCQCN's congestion control assumes PFC guarantees zero loss; on a
+        drop-tail fabric its slow NACK-free recovery would produce numbers
+        that look like DCQCN but are not.  Fabrics with *no* switch ports
+        (e.g. back-to-back host pairs) have nothing to pause and pass.
+        """
+        fabric = list(topology.fabric_queues())
+        if fabric and not any(isinstance(q, LosslessQueue) for q in fabric):
+            raise CapabilityError(
+                f"DCQCN requires a lossless (PFC) fabric, but none of the "
+                f"{len(fabric)} switch ports of this "
+                f"{topology.__class__.__name__} are LosslessQueue instances; "
+                f"build the network via DcqcnNetwork.build or the transport "
+                f"registry so the ports are PFC-capable"
+            )
 
     @classmethod
     def _default_config(cls) -> DcqcnConfig:
@@ -381,6 +414,8 @@ class DcqcnNetwork(TcpNetwork):
 
 class PHostNetwork(_BaseNetwork):
     """pHost over shallow drop-tail switches with per-packet spraying."""
+
+    CAPABILITIES = TransportCapabilities(per_packet_spraying=True, multipath=True)
 
     #: pHost runs the same tiny buffers as NDP (8 packets)
     BUFFER_PACKETS = 8

@@ -36,13 +36,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.config import NdpConfig
 from repro.core.switch import CpSwitchQueue, NdpSwitchQueue
 from repro.harness import experiment, metrics
-from repro.harness.baseline_networks import (
-    DcqcnNetwork,
-    DctcpNetwork,
-    MptcpNetwork,
-    PHostNetwork,
-    TcpNetwork,
-)
 from repro.harness.ndp_network import NdpNetwork
 from repro.harness.sweep import Plan, RunSpec, run_plan
 from repro.hosts.processing import (
@@ -61,6 +54,8 @@ from repro.topology import (
     LeafSpineTopology,
     SingleSwitchTopology,
 )
+from repro.transports import registry
+from repro.transports.capabilities import FamilyTraits
 from repro.transports.constant_rate import ConstantRateSink, ConstantRateSource
 from repro.transports.tcp import TcpConfig
 from repro.workloads.flowsize import (
@@ -71,13 +66,23 @@ from repro.workloads.flowsize import (
 from repro.workloads.generators import ClosedLoopGenerator
 from repro.workloads.openloop import OpenLoopGenerator
 
-#: protocols compared in the large-scale simulations, keyed by display name
-PROTOCOL_BUILDERS = {
-    "NDP": NdpNetwork,
-    "MPTCP": MptcpNetwork,
-    "DCTCP": DctcpNetwork,
-    "DCQCN": DcqcnNetwork,
-}
+#: default comparison set of the large-scale simulations (Figures 14/15/16)
+COMPARISON_PROTOCOLS = (registry.NDP, registry.MPTCP, registry.DCTCP, registry.DCQCN)
+
+
+def _resolve_protocols(requested, default, traits: FamilyTraits) -> List[str]:
+    """Canonical display names for a family's protocol axis.
+
+    Accepts any registered spelling (``ndp``, ``NDP``, ``PHOST``, ...) and
+    validates each protocol against the family's :class:`FamilyTraits` —
+    an incompatible (protocol, family) pair raises
+    :class:`~repro.transports.registry.IncompatibleTransportError` at plan
+    build time, which the sweep CLI reports as a skipped grid point.
+    """
+    names = registry.normalize(requested if requested is not None else default)
+    for name in names:
+        registry.require_compatible(name, traits)
+    return names
 
 
 # ---------------------------------------------------------------------------
@@ -91,7 +96,7 @@ def figure2_plan(
     seed: int = 1,
 ) -> Plan:
     """One spec per (switch kind, flow count) overload run."""
-    cases = [(kind, flows) for kind in ("NDP", "CP") for flows in flow_counts]
+    cases = [(kind, flows) for kind in (registry.NDP, "CP") for flows in flow_counts]
     specs = [
         RunSpec(
             f"fig2[{kind},flows={flows}]",
@@ -149,7 +154,7 @@ def _run_overload(switch_kind, flows, duration_ps, packet_bytes, seed):
     rng = random.Random(seed)
 
     def queue_factory(evl, rate, name):
-        if switch_kind == "NDP":
+        if switch_kind == registry.NDP:
             return NdpSwitchQueue(evl, rate, config=config, rng=rng, name=name)
         return CpSwitchQueue(evl, rate, config=config, name=name)
 
@@ -310,7 +315,7 @@ def _figure8_run(samples, seed):
     network_rtt = _measure_rpc_network_rtt()
     rng = random.Random(seed)
     stacks = {
-        "NDP": RpcStackModel(HostProcessingModel.ndp_dpdk(), handshake_rtts=0),
+        registry.NDP: RpcStackModel(HostProcessingModel.ndp_dpdk(), handshake_rtts=0),
         "TFO (no sleep)": RpcStackModel(
             HostProcessingModel.kernel_tfo(deep_sleep=False), handshake_rtts=0
         ),
@@ -318,7 +323,7 @@ def _figure8_run(samples, seed):
             HostProcessingModel.kernel_tcp(deep_sleep=False), handshake_rtts=1
         ),
         "TFO": RpcStackModel(HostProcessingModel.kernel_tfo(), handshake_rtts=0),
-        "TCP": RpcStackModel(HostProcessingModel.kernel_tcp(), handshake_rtts=1),
+        registry.TCP: RpcStackModel(HostProcessingModel.kernel_tcp(), handshake_rtts=1),
     }
     summary = {}
     for name, model in stacks.items():
@@ -354,7 +359,9 @@ def figure9_plan(
     """One spec per (protocol, response size) incast run."""
     response_sizes = tuple(response_sizes)
     cases = [
-        (protocol, size) for size in response_sizes for protocol in ("NDP", "TCP")
+        (protocol, size)
+        for size in response_sizes
+        for protocol in (registry.NDP, registry.TCP)
     ]
     specs = [
         RunSpec(
@@ -375,8 +382,8 @@ def figure9_plan(
             rows.append(
                 {
                     "response_kb": size / 1000,
-                    "ndp_ms": by_case[("NDP", size)] / units.MILLISECOND,
-                    "tcp_ms": by_case[("TCP", size)] / units.MILLISECOND,
+                    "ndp_ms": by_case[(registry.NDP, size)] / units.MILLISECOND,
+                    "tcp_ms": by_case[(registry.TCP, size)] / units.MILLISECOND,
                     "ideal_ms": ideal / units.MILLISECOND,
                 }
             )
@@ -401,21 +408,19 @@ def figure9_testbed_incast(
 
 def _figure9_point(protocol, response_bytes, seed):
     """Unit run: last-flow completion (ps) of the 7:1 testbed incast."""
-    if protocol == "NDP":
-        network_cls: type = NdpNetwork
+    if protocol == registry.NDP:
         config = NdpConfig(mtu_bytes=1500, header_queue_bytes=8 * 1500)
     else:
-        network_cls = TcpNetwork
         config = TcpConfig()
     return _incast_last_fct(
-        network_cls, response_bytes, senders=7, topology_cls=LeafSpineTopology,
+        protocol, response_bytes, senders=7, topology_cls=LeafSpineTopology,
         topology_kwargs=dict(leaves=4, spines=2, hosts_per_leaf=2),
         config=config, seed=seed,
     )
 
 
 def _incast_last_fct(
-    network_cls,
+    protocol: str,
     bytes_per_sender: int,
     senders: int,
     topology_cls=SingleSwitchTopology,
@@ -429,7 +434,9 @@ def _incast_last_fct(
     kwargs = dict(topology_kwargs or {})
     if topology_cls is SingleSwitchTopology and "hosts" not in kwargs:
         kwargs["hosts"] = senders + 1
-    network = network_cls.build(eventlist, topology_cls, config=config, seed=seed, **kwargs)
+    network = registry.build_network(
+        protocol, eventlist, topology_cls, config=config, seed=seed, **kwargs
+    )
     sender_hosts = [h for h in network.topology.hosts() if h != receiver][:senders]
     flows = experiment.start_incast(network, receiver, sender_hosts, bytes_per_sender)
     experiment.run_until_complete(network, flows, timeout_ps)
@@ -683,9 +690,14 @@ def figure14_plan(
     duration_ps: int = units.milliseconds(2),
     protocols: Optional[Sequence[str]] = None,
     seed: int = 3,
+    protocol: Optional[str] = None,
 ) -> Plan:
-    """One spec per protocol."""
-    protocols = list(protocols) if protocols is not None else list(PROTOCOL_BUILDERS)
+    """One spec per protocol (``protocol`` narrows the set to one for sweeps)."""
+    if protocol is not None:
+        protocols = (protocol,)
+    protocols = _resolve_protocols(
+        protocols, COMPARISON_PROTOCOLS, FamilyTraits(family="fig14")
+    )
     specs = [
         RunSpec(
             f"fig14[{name}]",
@@ -708,16 +720,18 @@ def figure14_permutation_throughput(
     duration_ps: int = units.milliseconds(2),
     protocols: Optional[Sequence[str]] = None,
     seed: int = 3,
+    protocol: Optional[str] = None,
 ) -> Dict[str, experiment.ThroughputResult]:
     """Per-flow goodput of a permutation matrix for each protocol."""
-    return run_plan(figure14_plan(k, flow_bytes, duration_ps, protocols, seed))
+    return run_plan(
+        figure14_plan(k, flow_bytes, duration_ps, protocols, seed, protocol)
+    )
 
 
 def _figure14_protocol(protocol, k, flow_bytes, duration_ps, seed):
     """Unit run: permutation :class:`ThroughputResult` for one protocol."""
-    builder = PROTOCOL_BUILDERS[protocol]
     eventlist = EventList()
-    network = builder.build(eventlist, FatTreeTopology, k=k, seed=seed)
+    network = registry.build_network(protocol, eventlist, FatTreeTopology, k=k, seed=seed)
     flows = experiment.start_permutation(network, flow_bytes, rng=random.Random(seed))
     return experiment.measure_throughput(network, flows, duration_ps)
 
@@ -734,9 +748,14 @@ def figure15_plan(
     background_flows_per_host: int = 2,
     protocols: Optional[Sequence[str]] = None,
     seed: int = 5,
+    protocol: Optional[str] = None,
 ) -> Plan:
-    """One spec per protocol."""
-    protocols = list(protocols) if protocols is not None else list(PROTOCOL_BUILDERS)
+    """One spec per protocol (``protocol`` narrows the set to one for sweeps)."""
+    if protocol is not None:
+        protocols = (protocol,)
+    protocols = _resolve_protocols(
+        protocols, COMPARISON_PROTOCOLS, FamilyTraits(family="fig15")
+    )
     specs = [
         RunSpec(
             f"fig15[{name}]",
@@ -764,6 +783,7 @@ def figure15_short_flow_fct(
     background_flows_per_host: int = 2,
     protocols: Optional[Sequence[str]] = None,
     seed: int = 5,
+    protocol: Optional[str] = None,
 ) -> Dict[str, List[float]]:
     """FCTs (us) of repeated 90 KB transfers between two otherwise idle hosts.
 
@@ -774,7 +794,7 @@ def figure15_short_flow_fct(
     return run_plan(
         figure15_plan(
             k, short_bytes, short_flows, background_bytes,
-            background_flows_per_host, protocols, seed,
+            background_flows_per_host, protocols, seed, protocol,
         )
     )
 
@@ -784,9 +804,8 @@ def _figure15_protocol(
     background_flows_per_host, seed,
 ):
     """Unit run: probe-flow FCTs (us) under background load, one protocol."""
-    builder = PROTOCOL_BUILDERS[protocol]
     eventlist = EventList()
-    network = builder.build(eventlist, FatTreeTopology, k=k, seed=seed)
+    network = registry.build_network(protocol, eventlist, FatTreeTopology, k=k, seed=seed)
     rng = random.Random(seed)
     hosts = network.topology.hosts()
     # the two probe hosts sit in different pods so their transfers cross
@@ -821,10 +840,15 @@ def figure16_plan(
     response_bytes: int = 450_000,
     protocols: Optional[Sequence[str]] = None,
     seed: int = 7,
+    protocol: Optional[str] = None,
 ) -> Plan:
     """One spec per (sender count, protocol) incast point."""
     sender_counts = tuple(sender_counts)
-    protocols = list(protocols) if protocols is not None else list(PROTOCOL_BUILDERS)
+    if protocol is not None:
+        protocols = (protocol,)
+    protocols = _resolve_protocols(
+        protocols, COMPARISON_PROTOCOLS, FamilyTraits(family="fig16")
+    )
     cases = [(senders, name) for senders in sender_counts for name in protocols]
     specs = [
         RunSpec(
@@ -857,16 +881,18 @@ def figure16_incast_scaling(
     response_bytes: int = 450_000,
     protocols: Optional[Sequence[str]] = None,
     seed: int = 7,
+    protocol: Optional[str] = None,
 ) -> List[Dict[str, float]]:
     """Last-flow completion time of an incast vs the number of senders (ms)."""
-    return run_plan(figure16_plan(sender_counts, response_bytes, protocols, seed))
+    return run_plan(
+        figure16_plan(sender_counts, response_bytes, protocols, seed, protocol)
+    )
 
 
 def _figure16_point(protocol, senders, response_bytes, seed):
     """Unit run: last-flow completion (ps) of one incast point."""
-    builder = PROTOCOL_BUILDERS[protocol]
     return _incast_last_fct(
-        builder, response_bytes, senders=senders, seed=seed,
+        protocol, response_bytes, senders=senders, seed=seed,
         timeout_ps=units.seconds(3),
     )
 
@@ -967,9 +993,16 @@ def figure19_plan(
     sample_period_ps: int = units.microseconds(250),
     duration_ps: int = units.milliseconds(30),
     seed: int = 11,
+    protocol: Optional[str] = None,
 ) -> Plan:
-    """One spec per protocol."""
-    protocols = list(protocols) if protocols is not None else ["NDP", "DCTCP", "DCQCN"]
+    """One spec per protocol (``protocol`` narrows the set to one for sweeps)."""
+    if protocol is not None:
+        protocols = (protocol,)
+    protocols = _resolve_protocols(
+        protocols,
+        (registry.NDP, registry.DCTCP, registry.DCQCN),
+        FamilyTraits(family="fig19"),
+    )
     specs = [
         RunSpec(
             f"fig19[{name}]",
@@ -996,6 +1029,7 @@ def figure19_collateral_damage(
     sample_period_ps: int = units.microseconds(250),
     duration_ps: int = units.milliseconds(30),
     seed: int = 11,
+    protocol: Optional[str] = None,
 ) -> Dict[str, Dict[str, List[Tuple[int, float]]]]:
     """Goodput-vs-time of a long flow while an incast hits a neighbour host.
 
@@ -1007,7 +1041,7 @@ def figure19_collateral_damage(
     return run_plan(
         figure19_plan(
             protocols, incast_senders, incast_bytes, sample_period_ps,
-            duration_ps, seed,
+            duration_ps, seed, protocol,
         )
     )
 
@@ -1016,10 +1050,9 @@ def _figure19_protocol(
     protocol, incast_senders, incast_bytes, sample_period_ps, duration_ps, seed
 ):
     """Unit run: long-flow / incast goodput time series for one protocol."""
-    builder = PROTOCOL_BUILDERS[protocol]
     eventlist = EventList()
-    network = builder.build(
-        eventlist, LeafSpineTopology,
+    network = registry.build_network(
+        protocol, eventlist, LeafSpineTopology,
         leaves=2, spines=2, hosts_per_leaf=max(2, incast_senders // 2), seed=seed,
     )
     hosts = network.topology.hosts()
@@ -1181,9 +1214,17 @@ def figure22_plan(
     flow_bytes: int = 200_000_000,
     duration_ps: int = units.milliseconds(3),
     seed: int = 17,
+    cases: Optional[Sequence[str]] = None,
+    protocol: Optional[str] = None,
 ) -> Plan:
     """One spec per protocol/ablation case."""
-    cases = ["NDP", "NDP (no path penalty)", "MPTCP", "DCTCP"]
+    if protocol is not None:
+        cases = (protocol,)
+    cases = _resolve_protocols(
+        cases,
+        (registry.NDP, registry.NDP_NO_PATH_PENALTY, registry.MPTCP, registry.DCTCP),
+        FamilyTraits(family="fig22", mutates_link_rates=True),
+    )
     specs = [
         RunSpec(
             f"fig22[{case}]",
@@ -1208,26 +1249,23 @@ def figure22_asymmetry(
     flow_bytes: int = 200_000_000,
     duration_ps: int = units.milliseconds(3),
     seed: int = 17,
+    cases: Optional[Sequence[str]] = None,
+    protocol: Optional[str] = None,
 ) -> Dict[str, experiment.ThroughputResult]:
     """Permutation throughput with one core↔aggregation link at 1 Gb/s.
 
     Compares NDP, NDP without the path-penalty scoreboard (the ablation),
     MPTCP and DCTCP.
     """
-    return run_plan(figure22_plan(k, degraded_rate_bps, flow_bytes, duration_ps, seed))
+    return run_plan(
+        figure22_plan(k, degraded_rate_bps, flow_bytes, duration_ps, seed, cases, protocol)
+    )
 
 
 def _figure22_case(case, k, degraded_rate_bps, flow_bytes, duration_ps, seed):
     """Unit run: permutation throughput with a degraded core link, one case."""
-    builder, config = {
-        "NDP": (NdpNetwork, NdpConfig()),
-        "NDP (no path penalty)": (NdpNetwork, NdpConfig(path_penalty=False)),
-        "MPTCP": (MptcpNetwork, None),
-        "DCTCP": (DctcpNetwork, None),
-    }[case]
     eventlist = EventList()
-    kwargs = {"config": config} if config is not None else {}
-    network = builder.build(eventlist, FatTreeTopology, k=k, seed=seed, **kwargs)
+    network = registry.build_network(case, eventlist, FatTreeTopology, k=k, seed=seed)
     network.topology.degrade_core_link(core=0, pod=k - 1, new_rate_bps=degraded_rate_bps)
     flows = experiment.start_permutation(network, flow_bytes, rng=random.Random(seed))
     return experiment.measure_throughput(network, flows, duration_ps)
@@ -1244,10 +1282,15 @@ def figure23_plan(
     duration_ps: int = units.milliseconds(40),
     protocols: Optional[Sequence[str]] = None,
     seed: int = 19,
+    protocol: Optional[str] = None,
 ) -> Plan:
     """One spec per (protocol, load level)."""
     connections_per_host = tuple(connections_per_host)
-    protocols = list(protocols) if protocols is not None else ["NDP", "DCTCP"]
+    if protocol is not None:
+        protocols = (protocol,)
+    protocols = _resolve_protocols(
+        protocols, (registry.NDP, registry.DCTCP), FamilyTraits(family="fig23")
+    )
     cases = [(name, load) for name in protocols for load in connections_per_host]
     specs = [
         RunSpec(
@@ -1271,6 +1314,7 @@ def figure23_oversubscribed_web(
     duration_ps: int = units.milliseconds(40),
     protocols: Optional[Sequence[str]] = None,
     seed: int = 19,
+    protocol: Optional[str] = None,
 ) -> List[Dict[str, object]]:
     """FCT distribution of a web-like workload on a 4:1 oversubscribed fabric.
 
@@ -1280,20 +1324,25 @@ def figure23_oversubscribed_web(
     """
     return run_plan(
         figure23_plan(
-            k, oversubscription, connections_per_host, duration_ps, protocols, seed
+            k, oversubscription, connections_per_host, duration_ps, protocols,
+            seed, protocol,
         )
     )
 
 
 def _figure23_point(protocol, connections_per_host, k, oversubscription, duration_ps, seed):
     """Unit run: one (protocol, load) row of the web-workload table."""
-    builder = PROTOCOL_BUILDERS[protocol]
-    ndp_config = NdpConfig(mtu_bytes=1500, header_queue_bytes=8 * 1500)
+    # NDP runs the prototype's 1500-byte MTU here; every other transport
+    # keeps its registered default config
+    config = (
+        NdpConfig(mtu_bytes=1500, header_queue_bytes=8 * 1500)
+        if protocol == registry.NDP
+        else None
+    )
     eventlist = EventList()
-    kwargs = {"config": ndp_config} if protocol == "NDP" else {}
-    network = builder.build(
-        eventlist, FatTreeTopology, k=k,
-        oversubscription=oversubscription, seed=seed, **kwargs,
+    network = registry.build_network(
+        protocol, eventlist, FatTreeTopology, k=k,
+        oversubscription=oversubscription, config=config, seed=seed,
     )
     generator = ClosedLoopGenerator(
         eventlist,
@@ -1332,9 +1381,16 @@ def phost_plan(
     permutation_bytes: int = 100_000_000,
     duration_ps: int = units.milliseconds(2),
     seed: int = 21,
+    protocols: Optional[Sequence[str]] = None,
+    protocol: Optional[str] = None,
 ) -> Plan:
     """One spec per protocol (each runs its incast + permutation pair)."""
-    cases = ["NDP", "pHost"]
+    if protocol is not None:
+        protocols = (protocol,)
+    cases = _resolve_protocols(
+        protocols, (registry.NDP, registry.PHOST),
+        FamilyTraits(family="phost"),  # transport-name-ok: experiment family
+    )
     specs = [
         RunSpec(
             f"phost[{name}]",
@@ -1367,11 +1423,14 @@ def phost_comparison(
     permutation_bytes: int = 100_000_000,
     duration_ps: int = units.milliseconds(2),
     seed: int = 21,
+    protocols: Optional[Sequence[str]] = None,
+    protocol: Optional[str] = None,
 ) -> Dict[str, float]:
     """NDP vs pHost: incast completion (ms) and permutation utilization."""
     return run_plan(
         phost_plan(
-            k, incast_senders, incast_bytes, permutation_bytes, duration_ps, seed
+            k, incast_senders, incast_bytes, permutation_bytes, duration_ps,
+            seed, protocols, protocol,
         )
     )
 
@@ -1380,13 +1439,12 @@ def _phost_case(
     protocol, k, incast_senders, incast_bytes, permutation_bytes, duration_ps, seed
 ):
     """Unit run: incast completion + permutation utilization for one stack."""
-    builder = {"NDP": NdpNetwork, "pHost": PHostNetwork}[protocol]
     last = _incast_last_fct(
-        builder, incast_bytes, senders=incast_senders, seed=seed,
+        protocol, incast_bytes, senders=incast_senders, seed=seed,
         timeout_ps=units.seconds(3),
     )
     eventlist = EventList()
-    network = builder.build(eventlist, FatTreeTopology, k=k, seed=seed)
+    network = registry.build_network(protocol, eventlist, FatTreeTopology, k=k, seed=seed)
     flows = experiment.start_permutation(network, permutation_bytes, rng=random.Random(seed))
     throughput = experiment.measure_throughput(network, flows, duration_ps)
     return {
@@ -1503,14 +1561,14 @@ def _scaling_point(k, flow_bytes, duration_ps, seed):
 # the deterministic mid-run link events the FabricController provides.
 # ---------------------------------------------------------------------------
 
-#: the transports compared in the failure experiments: NDP (with and without
-#: the path-penalty scoreboard) against per-flow-ECMP single-path controls
-_FAILURE_CASES = {
-    "NDP": (NdpNetwork, lambda: NdpConfig()),
-    "NDP (no path penalty)": (NdpNetwork, lambda: NdpConfig(path_penalty=False)),
-    "TCP": (TcpNetwork, lambda: None),
-    "DCTCP": (DctcpNetwork, lambda: None),
-}
+#: the transports compared by default in the failure experiments: NDP (with
+#: and without the path-penalty scoreboard) against per-flow-ECMP controls
+_FAILURE_DEFAULT_CASES = (
+    registry.NDP,
+    registry.NDP_NO_PATH_PENALTY,
+    registry.TCP,
+    registry.DCTCP,
+)
 
 
 def failures_degraded_plan(
@@ -1520,9 +1578,16 @@ def failures_degraded_plan(
     timeout_ps: int = units.milliseconds(60),
     cases: Optional[Sequence[str]] = None,
     seed: int = 27,
+    protocol: Optional[str] = None,
 ) -> Plan:
     """One spec per transport: permutation FCTs over a degraded-core fabric."""
-    cases = list(cases) if cases is not None else list(_FAILURE_CASES)
+    if protocol is not None:
+        cases = (protocol,)
+    cases = _resolve_protocols(
+        cases,
+        _FAILURE_DEFAULT_CASES,
+        FamilyTraits(family="failures_degraded", mutates_link_rates=True),
+    )
     specs = [
         RunSpec(
             f"failures_degraded[{case}]",
@@ -1544,6 +1609,7 @@ def failures_degraded(
     timeout_ps: int = units.milliseconds(60),
     cases: Optional[Sequence[str]] = None,
     seed: int = 27,
+    protocol: Optional[str] = None,
 ) -> List[Dict[str, object]]:
     """Permutation FCTs with one core↔agg link degraded, NDP vs ECMP controls.
 
@@ -1554,17 +1620,16 @@ def failures_degraded(
     behind it, which shows up in the p99/max columns.
     """
     return run_plan(
-        failures_degraded_plan(k, degraded_rate_bps, flow_bytes, timeout_ps, cases, seed)
+        failures_degraded_plan(
+            k, degraded_rate_bps, flow_bytes, timeout_ps, cases, seed, protocol
+        )
     )
 
 
 def _failures_degraded_case(case, k, degraded_rate_bps, flow_bytes, timeout_ps, seed):
     """Unit run: one transport's permutation FCT summary over a degraded core."""
-    builder, config_factory = _FAILURE_CASES[case]
-    config = config_factory()
     eventlist = EventList()
-    kwargs = {"config": config} if config is not None else {}
-    network = builder.build(eventlist, FatTreeTopology, k=k, seed=seed, **kwargs)
+    network = registry.build_network(case, eventlist, FatTreeTopology, k=k, seed=seed)
     network.topology.degrade_core_link(core=0, pod=k - 1, new_rate_bps=degraded_rate_bps)
     flows = experiment.start_permutation(network, flow_bytes, rng=random.Random(seed))
     result = experiment.run_until_complete(network, flows, timeout_ps)
@@ -1585,9 +1650,16 @@ def failures_recovery_plan(
     sample_period_ps: int = units.microseconds(100),
     protocols: Optional[Sequence[str]] = None,
     seed: int = 29,
+    protocol: Optional[str] = None,
 ) -> Plan:
     """One spec per protocol: goodput timeline through a fail→recover cycle."""
-    protocols = list(protocols) if protocols is not None else ["NDP", "TCP"]
+    if protocol is not None:
+        protocols = (protocol,)
+    protocols = _resolve_protocols(
+        protocols,
+        (registry.NDP, registry.TCP),
+        FamilyTraits(family="failures_recovery", severs_links=True),
+    )
     specs = [
         RunSpec(
             f"failures_recovery[{name}]",
@@ -1616,6 +1688,7 @@ def failures_recovery(
     sample_period_ps: int = units.microseconds(100),
     protocols: Optional[Sequence[str]] = None,
     seed: int = 29,
+    protocol: Optional[str] = None,
 ) -> Dict[str, Dict[str, object]]:
     """Mid-transfer core-link failure and recovery: aggregate goodput vs time.
 
@@ -1630,7 +1703,7 @@ def failures_recovery(
     return run_plan(
         failures_recovery_plan(
             k, flow_bytes, fail_at_ps, recover_at_ps, duration_ps,
-            sample_period_ps, protocols, seed,
+            sample_period_ps, protocols, seed, protocol,
         )
     )
 
@@ -1640,11 +1713,8 @@ def _failures_recovery_case(
     sample_period_ps, seed,
 ):
     """Unit run: one protocol's goodput timeline through an outage."""
-    builder, config_factory = _FAILURE_CASES[protocol]
-    config = config_factory()
     eventlist = EventList()
-    kwargs = {"config": config} if config is not None else {}
-    network = builder.build(eventlist, FatTreeTopology, k=k, seed=seed, **kwargs)
+    network = registry.build_network(protocol, eventlist, FatTreeTopology, k=k, seed=seed)
     topology = network.topology
     core_node, agg_node = topology.core_agg_pair(core=0, pod=k - 1)
     controller = FabricController(topology)
@@ -1675,6 +1745,7 @@ def failures_klinks_plan(
     timeout_ps: int = units.milliseconds(40),
     protocols: Optional[Sequence[str]] = None,
     seed: int = 31,
+    protocol: Optional[str] = None,
 ) -> Plan:
     """One spec per protocol at one ``links_down`` level (sweep via the CLI)."""
     core_count = (k // 2) ** 2
@@ -1683,7 +1754,13 @@ def failures_klinks_plan(
             f"links_down must be in [0, {core_count}) for k={k} "
             f"(failing every core link into one pod partitions it)"
         )
-    protocols = list(protocols) if protocols is not None else ["NDP", "TCP"]
+    if protocol is not None:
+        protocols = (protocol,)
+    protocols = _resolve_protocols(
+        protocols,
+        (registry.NDP, registry.TCP),
+        FamilyTraits(family="failures_klinks", severs_links=True),
+    )
     specs = [
         RunSpec(
             f"failures_klinks[{name},down={links_down}]",
@@ -1705,6 +1782,7 @@ def failures_klinks(
     timeout_ps: int = units.milliseconds(40),
     protocols: Optional[Sequence[str]] = None,
     seed: int = 31,
+    protocol: Optional[str] = None,
 ) -> List[Dict[str, object]]:
     """Permutation FCTs with *links_down* core cables cut before the run.
 
@@ -1716,17 +1794,16 @@ def failures_klinks(
     while per-flow ECMP's collision probability — and tail FCT — climbs.
     """
     return run_plan(
-        failures_klinks_plan(links_down, k, flow_bytes, timeout_ps, protocols, seed)
+        failures_klinks_plan(
+            links_down, k, flow_bytes, timeout_ps, protocols, seed, protocol
+        )
     )
 
 
 def _failures_klinks_case(protocol, links_down, k, flow_bytes, timeout_ps, seed):
     """Unit run: one transport's permutation with N core links pre-failed."""
-    builder, config_factory = _FAILURE_CASES[protocol]
-    config = config_factory()
     eventlist = EventList()
-    kwargs = {"config": config} if config is not None else {}
-    network = builder.build(eventlist, FatTreeTopology, k=k, seed=seed, **kwargs)
+    network = registry.build_network(protocol, eventlist, FatTreeTopology, k=k, seed=seed)
     topology = network.topology
     for core in range(links_down):
         topology.fail_core_link(core=core, pod=k - 1)
@@ -1748,13 +1825,10 @@ def _failures_klinks_case(protocol, links_down, k, flow_bytes, timeout_ps, seed)
 # lens for that axis (pFabric/pHost/Homa methodology).
 # ---------------------------------------------------------------------------
 
-#: the transports compared in the load sweeps: NDP against an ECN baseline
-#: (DCTCP) and a per-flow-ECMP loss-based control (TCP)
-_LOAD_FCT_BUILDERS = {
-    "NDP": NdpNetwork,
-    "DCTCP": DctcpNetwork,
-    "TCP": TcpNetwork,
-}
+#: the transports compared by default in the load sweeps: NDP against an ECN
+#: baseline (DCTCP) and a per-flow-ECMP loss-based control (TCP); any
+#: registered transport can be requested via ``protocols`` / ``protocol``
+_LOAD_FCT_DEFAULT_PROTOCOLS = (registry.NDP, registry.DCTCP, registry.TCP)
 
 #: empirical flow-size mixes selectable via the ``workload`` parameter
 _LOAD_FCT_WORKLOADS = {
@@ -1779,12 +1853,14 @@ def load_fct_plan(
     measure_ps: int = units.milliseconds(2),
     drain_ps: int = units.milliseconds(2),
     seed: int = 33,
+    protocol: Optional[str] = None,
 ) -> Plan:
     """One spec per (load level, protocol) open-loop run.
 
-    ``load`` (a single level) overrides ``loads`` (the default sweep) — this
-    is what makes ``repro.cli load_fct --set load=0.3,0.6,0.9`` a natural
-    grid: each grid point builds a single-load plan.
+    ``load`` (a single level) overrides ``loads`` (the default sweep), and
+    ``protocol`` (a single transport) overrides ``protocols`` — this is what
+    makes ``repro.cli load_fct --set load=0.3,0.6 --set protocol=ndp,phost``
+    a natural grid: each grid point builds a single-(load, protocol) plan.
     """
     if load is not None:
         loads = (load,)
@@ -1798,13 +1874,11 @@ def load_fct_plan(
             f"unknown workload {workload!r} (choose from "
             f"{', '.join(_LOAD_FCT_WORKLOADS)})"
         )
-    protocols = list(protocols) if protocols is not None else list(_LOAD_FCT_BUILDERS)
-    unknown = [name for name in protocols if name not in _LOAD_FCT_BUILDERS]
-    if unknown:
-        raise ValueError(
-            f"unknown protocol(s) {unknown} (choose from "
-            f"{', '.join(_LOAD_FCT_BUILDERS)})"
-        )
+    if protocol is not None:
+        protocols = (protocol,)
+    protocols = _resolve_protocols(
+        protocols, _LOAD_FCT_DEFAULT_PROTOCOLS, FamilyTraits(family="load_fct")
+    )
     cases = [(level, name) for level in loads for name in protocols]
     specs = [
         RunSpec(
@@ -1837,6 +1911,7 @@ def load_fct_slowdowns(
     measure_ps: int = units.milliseconds(2),
     drain_ps: int = units.milliseconds(2),
     seed: int = 33,
+    protocol: Optional[str] = None,
 ) -> List[Dict[str, object]]:
     """Size-binned FCT slowdowns of an open-loop load sweep.
 
@@ -1855,7 +1930,7 @@ def load_fct_slowdowns(
     return run_plan(
         load_fct_plan(
             load, loads, protocols, fabric, k, leaves, spines, hosts_per_leaf,
-            workload, matrix, warmup_ps, measure_ps, drain_ps, seed,
+            workload, matrix, warmup_ps, measure_ps, drain_ps, seed, protocol,
         )
     )
 
@@ -1880,13 +1955,14 @@ def _load_fct_point(
     matrix, warmup_ps, measure_ps, drain_ps, seed,
 ):
     """Unit run: one (protocol, load) row of the open-loop slowdown sweep."""
-    builder = _LOAD_FCT_BUILDERS[protocol]
     eventlist = EventList()
     if fabric == "fattree":
-        network = builder.build(eventlist, FatTreeTopology, k=k, seed=seed)
+        network = registry.build_network(
+            protocol, eventlist, FatTreeTopology, k=k, seed=seed
+        )
     else:
-        network = builder.build(
-            eventlist, LeafSpineTopology,
+        network = registry.build_network(
+            protocol, eventlist, LeafSpineTopology,
             leaves=leaves, spines=spines, hosts_per_leaf=hosts_per_leaf, seed=seed,
         )
     topology = network.topology
@@ -1953,7 +2029,7 @@ FIGURE_PLANS = {
     "fig21": figure21_plan,
     "fig22": figure22_plan,
     "fig23": figure23_plan,
-    "phost": phost_plan,
+    "phost": phost_plan,  # transport-name-ok: experiment family, not a protocol
     "scaling": scaling_plan,
     "uplinks": uplink_trimming_plan,
     "failures_degraded": failures_degraded_plan,

@@ -31,6 +31,7 @@ from repro.sim.logger import FlowRecord
 from repro.sim.network import PacketSink
 from repro.sim.queues import DropTailQueue
 from repro.topology.base import Topology
+from repro.transports.capabilities import TransportCapabilities
 
 
 @dataclass
@@ -65,6 +66,11 @@ class NdpFlow:
 
 class NdpNetwork:
     """Bind NDP senders, sinks and pull pacers to an existing topology."""
+
+    #: what NDP needs from — and does to — the fabric (see the registry)
+    CAPABILITIES = TransportCapabilities(
+        supports_trimming=True, per_packet_spraying=True, multipath=True
+    )
 
     def __init__(
         self,

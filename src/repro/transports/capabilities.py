@@ -1,0 +1,72 @@
+"""Capability flags transports advertise and experiment families consume.
+
+This tiny module exists so that both the network builders
+(:mod:`repro.harness.baseline_networks`, :mod:`repro.harness.ndp_network`)
+and the transport registry (:mod:`repro.transports.registry`) can share the
+capability vocabulary without importing each other: builders *declare* a
+:class:`TransportCapabilities` on the class, families *declare* a
+:class:`FamilyTraits` describing what they do to the fabric, and the
+registry decides whether a (transport, family) grid point is runnable.
+
+``CapabilityError`` is the hard failure for a *mis-wired build* (e.g. DCQCN
+endpoints on a fabric whose switch ports cannot pause) — it means the
+simulation would silently model the wrong protocol, so it is never skipped
+over.  Grid-point *incompatibilities* (a runnable-looking combination the
+registry knows to be meaningless) are reported through
+:class:`repro.transports.registry.IncompatibleTransportError` instead, which
+sweeps treat as skip-with-reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TransportCapabilities:
+    """What a transport needs from — and does to — the fabric.
+
+    ``needs_lossless_fabric``
+        The protocol assumes no packet is ever dropped (PFC pause wiring);
+        running it over drop-tail ports silently mis-simulates it.
+    ``uses_ecn``
+        Congestion feedback comes from ECN marks, so switch queues must mark.
+    ``per_packet_spraying``
+        Every packet may take a different path; the transport tolerates
+        reordering by design.
+    ``supports_trimming``
+        The protocol understands trimmed-to-header packets (return-to-sender
+        / NACK semantics).
+    ``multipath``
+        The transport uses several paths concurrently (subflows or spraying)
+        rather than hashing each flow onto one.
+    """
+
+    needs_lossless_fabric: bool = False
+    uses_ecn: bool = False
+    per_packet_spraying: bool = False
+    supports_trimming: bool = False
+    multipath: bool = False
+
+
+@dataclass(frozen=True)
+class FamilyTraits:
+    """What an experiment family does to the fabric while flows are live.
+
+    ``severs_links``
+        The scenario cuts links (before or during the run).  Severing a
+        link of a lossless fabric invalidates its PFC pause graph — paused
+        queues upstream of the cut can wedge forever — so transports with
+        ``needs_lossless_fabric`` are incompatible with such families.
+    ``mutates_link_rates``
+        The scenario renegotiates link rates mid-run (degradation); the
+        path set is unchanged, so lossless fabrics remain valid.
+    """
+
+    family: str
+    severs_links: bool = False
+    mutates_link_rates: bool = False
+
+
+class CapabilityError(RuntimeError):
+    """A network was wired onto a fabric that violates its capabilities."""

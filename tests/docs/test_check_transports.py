@@ -1,0 +1,44 @@
+"""Protocol-literal conformance: names live in the registry, nowhere else.
+
+Thin pytest wrapper around ``tools/check_transports.py`` (which CI also
+runs directly) so a stray ``"DCQCN"`` literal outside the transport
+registry fails the tier-1 suite, mirroring ``test_docs.py``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+
+_TOOL = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "tools",
+    "check_transports.py",
+)
+_spec = importlib.util.spec_from_file_location("check_transports", _TOOL)
+check_transports = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_transports)
+
+
+def test_no_protocol_literals_outside_the_registry():
+    from repro.transports import registry
+
+    literals = set(registry.protocol_literals())
+    problems = []
+    for path in check_transports.python_files():
+        problems.extend(check_transports.check_file(path, literals))
+    assert problems == []
+
+
+def test_lint_skips_tests_and_the_registry_itself():
+    assert check_transports._is_test_file(os.path.join("tests", "x.py"))
+    assert check_transports._is_test_file("test_whatever.py")
+    assert not check_transports._is_test_file(os.path.join("src", "repro", "cli.py"))
+
+
+def test_lint_flags_a_literal_and_honours_the_pragma(tmp_path):
+    offender = tmp_path / "offender.py"
+    offender.write_text('PROTOCOL = "DCQCN"\nOK = "DCQCN"  # transport-name-ok\n')
+    problems = check_transports.check_file(str(offender), {"dcqcn"})
+    assert len(problems) == 1
+    assert "DCQCN" in problems[0]

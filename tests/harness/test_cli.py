@@ -108,6 +108,41 @@ class TestSweep:
         assert code in (1, 2)
         assert "error" in captured.err or "could not build" in captured.err
 
+    def test_unknown_protocol_lists_registered_transports(self, capsys):
+        code = cli.main(
+            ["sweep", "load_fct", "--set", "protocol=carrier-pigeon", "-q"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "registered transports" in captured.err
+        assert "dcqcn" in captured.err
+
+    def test_incompatible_grid_point_is_skipped_not_fatal(self, capsys):
+        args = [
+            "sweep", "failures_klinks",
+            "--set", "protocol=ndp,dcqcn",
+            "--set", "flow_bytes=45000",
+            "--set", "timeout_ps=40000000000",
+            "-q",
+        ]
+        assert cli.main(args) == 0
+        out = capsys.readouterr().out
+        assert "### failures_klinks [protocol=ndp" in out
+        assert "protocol=dcqcn" in out and "skipped:" in out
+        assert "1 of 2 grid points skipped" in out
+        # the skip decision and its message are deterministic across runs
+        assert cli.main(args) == 0
+        rerun = capsys.readouterr().out
+        skip_lines = [l for l in out.splitlines() if "skipped:" in l]
+        assert skip_lines == [l for l in rerun.splitlines() if "skipped:" in l]
+
+    def test_all_points_skipped_still_exits_zero(self, capsys):
+        assert cli.main(
+            ["sweep", "failures_recovery", "--set", "protocol=dcqcn", "-q"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "skipped:" in out and "1 of 1 grid points skipped" in out
+
 
 class TestGridParsing:
     def test_scalars_parse_as_json(self):

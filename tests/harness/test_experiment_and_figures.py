@@ -95,8 +95,11 @@ class TestFigureGenerators:
         ] + 1e-9
         assert set(result) == {"permutation", "random"}
 
-    def test_protocol_builders_registry(self):
-        assert set(figures.PROTOCOL_BUILDERS) == {"NDP", "MPTCP", "DCTCP", "DCQCN"}
+    def test_comparison_protocols_come_from_the_registry(self):
+        from repro.transports import registry
+
+        assert set(figures.COMPARISON_PROTOCOLS) == {"NDP", "MPTCP", "DCTCP", "DCQCN"}
+        assert set(figures.COMPARISON_PROTOCOLS) <= set(registry.displays())
 
     def test_failures_experiments_registered(self):
         for name in ("failures_degraded", "failures_recovery", "failures_klinks"):

@@ -39,6 +39,19 @@ class TestPlanShape:
         assert len(plan.specs) == 1
         assert plan.specs[0].kwargs["load"] == 0.3
 
+    def test_protocol_names_resolve_case_insensitively(self):
+        plan = figures.load_fct_plan(load=0.1, protocols=["ndp", "Dctcp", "PHOST"])
+        assert [spec.experiment for spec in plan.specs] == [
+            "load_fct[NDP,load=0.1,fattree,fbweb]",
+            "load_fct[DCTCP,load=0.1,fattree,fbweb]",
+            "load_fct[pHost,load=0.1,fattree,fbweb]",
+        ]
+
+    def test_scalar_protocol_overrides_the_roster(self):
+        plan = figures.load_fct_plan(load=0.1, protocol="dcqcn")
+        assert len(plan.specs) == 1
+        assert plan.specs[0].experiment == "load_fct[DCQCN,load=0.1,fattree,fbweb]"
+
     def test_validation(self):
         with pytest.raises(ValueError):
             figures.load_fct_plan(loads=())

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Lint: protocol-name string literals belong in the transport registry.
+
+The whole point of :mod:`repro.transports.registry` is that protocol names
+are bound to their machinery in exactly one place.  A stray ``"DCQCN"``
+literal in an experiment builder or example quietly recreates the private
+protocol dicts the registry replaced, and rots the moment a transport is
+renamed or added.  This tool walks every Python file's AST and flags any
+string constant that, after ``.strip().lower()``, equals a registered
+transport name (short id or display name).
+
+Sanctioned exceptions:
+
+* ``src/repro/transports/registry.py`` itself — the one home of the
+  literals;
+* test files (anything under a ``tests`` directory, ``test_*.py``,
+  ``conftest.py``) — tests exercise the CLI with user-style spellings;
+* lines carrying a ``# transport-name-ok`` pragma, for the handful of
+  places where a name collides with something that is not a protocol
+  reference (e.g. the ``phost`` *experiment family* key).
+
+Run from anywhere: ``python tools/check_transports.py``.  Exits non-zero
+and prints one ``path:line: literal`` per problem; wired into the test
+suite next to ``check_docs.py`` via ``tests/docs/test_check_transports.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+from typing import List
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules", ".benchmarks"}
+#: directories scanned for protocol-name literals
+SCAN_DIRS = ("src", "examples", "benchmarks", "tools")
+#: the sanctioned home of the literals, relative to the repo root
+REGISTRY_PATH = os.path.join("src", "repro", "transports", "registry.py")
+PRAGMA = "# transport-name-ok"
+
+
+def _is_test_file(relpath: str) -> bool:
+    parts = relpath.split(os.sep)
+    filename = parts[-1]
+    return (
+        "tests" in parts
+        or filename.startswith("test_")
+        or filename == "conftest.py"
+    )
+
+
+def python_files() -> List[str]:
+    found = []
+    for scan_dir in SCAN_DIRS:
+        base = os.path.join(ROOT, scan_dir)
+        if not os.path.isdir(base):
+            continue
+        for directory, subdirs, filenames in os.walk(base):
+            subdirs[:] = [d for d in subdirs if d not in SKIP_DIRS]
+            for filename in filenames:
+                if filename.endswith(".py"):
+                    found.append(os.path.join(directory, filename))
+    return sorted(found)
+
+
+def check_file(path: str, literals: set) -> List[str]:
+    relpath = os.path.relpath(path, ROOT)
+    if relpath == REGISTRY_PATH or _is_test_file(relpath):
+        return []
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as error:
+        return [f"{relpath}: could not parse: {error}"]
+    lines = source.splitlines()
+    problems = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Constant) and isinstance(node.value, str)):
+            continue
+        if node.value.strip().lower() not in literals:
+            continue
+        line = lines[node.lineno - 1] if node.lineno <= len(lines) else ""
+        if PRAGMA in line:
+            continue
+        problems.append(
+            f"{relpath}:{node.lineno}: protocol-name literal {node.value!r} — "
+            f"import the constant from repro.transports.registry instead"
+        )
+    return problems
+
+
+def main() -> int:
+    sys.path.insert(0, os.path.join(ROOT, "src"))
+    try:
+        from repro.transports import registry
+    except Exception as error:  # pragma: no cover - import environment issue
+        print(f"could not import the transport registry: {error}", file=sys.stderr)
+        return 1
+    literals = set(registry.protocol_literals())
+    problems = []
+    for path in python_files():
+        problems.extend(check_file(path, literals))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} protocol-literal problem(s)", file=sys.stderr)
+        return 1
+    print(
+        f"transports OK: {len(python_files())} python files checked against "
+        f"{len(literals)} registered names"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
