@@ -83,6 +83,8 @@ EXPERIMENTS: Dict[str, tuple[str, Callable[[], object]]] = {
     "failures_recovery": ("mid-transfer link failure + recovery timeline", figures.failures_recovery),
     "failures_klinks": ("permutation FCTs with k core links down", figures.failures_klinks),
     "load_fct": ("open-loop load sweep: size-binned FCT slowdowns", figures.load_fct_slowdowns),
+    "rpc_deadline": ("partition-aggregate RPCs: SLO-met fraction vs load", figures.rpc_deadline_slo),
+    "coflow_ct": ("K-round shuffle coflows: completion times vs load", figures.coflow_ct_times),
 }
 
 

@@ -271,6 +271,24 @@ def run_open_loop(network, generator) -> List[FlowRecord]:
     return generator.measured_records()
 
 
+def run_service_requests(network, specs, horizon_ps, window_fn=None):
+    """Execute service-request specs and run the simulation to a horizon.
+
+    Builds a :class:`~repro.workloads.services.ServiceEngine` over
+    *network*, submits every spec (tagged by *window_fn*, an
+    ``arrival_ps -> window`` mapping — all-measure when omitted), drives
+    the event list to the absolute *horizon_ps*, and returns the engine.
+    Requests whose final stage has not finished by the horizon remain
+    incomplete (censored) — report them, don't drop them.
+    """
+    from repro.workloads.services import ServiceEngine
+
+    engine = ServiceEngine(network.eventlist, network)
+    engine.submit_all(specs, window_fn=window_fn)
+    engine.run_until(horizon_ps)
+    return engine
+
+
 def permutation_utilization(
     network_builder,
     flow_size_bytes: int = 50_000_000,

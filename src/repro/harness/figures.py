@@ -64,7 +64,14 @@ from repro.workloads.flowsize import (
     WebSearchFlowSizes,
 )
 from repro.workloads.generators import ClosedLoopGenerator
-from repro.workloads.openloop import OpenLoopGenerator
+from repro.workloads.openloop import MEASURE, OpenLoopGenerator
+from repro.workloads.services import (
+    CoflowShuffleTemplate,
+    PartitionAggregateTemplate,
+    synthesize_requests,
+    window_of as service_window_of,
+)
+from repro.workloads.trace import trace_digest
 
 #: default comparison set of the large-scale simulations (Figures 14/15/16)
 COMPARISON_PROTOCOLS = (registry.NDP, registry.MPTCP, registry.DCTCP, registry.DCQCN)
@@ -2007,6 +2014,274 @@ def _load_fct_point(
     }
 
 
+# ---------------------------------------------------------------------------
+# rpc_deadline / coflow_ct families — service-level workloads (DAG requests).
+# The paper's incast figures are the degenerate case of partition-aggregate;
+# these families evaluate the full pattern: RPC trees with SLO deadlines and
+# multi-stage shuffle coflows arriving open-loop, per registry transport.
+# ---------------------------------------------------------------------------
+
+#: transports compared by default in the service-level families: NDP against
+#: the ECN baseline and the loss-based per-flow-ECMP control
+_SERVICE_DEFAULT_PROTOCOLS = (registry.NDP, registry.DCTCP, registry.TCP)
+
+
+def _validated_loads(load, loads) -> Tuple[float, ...]:
+    """Shared load-axis validation: scalar overrides sweep, all positive finite."""
+    if load is not None:
+        loads = (load,)
+    loads = tuple(float(level) for level in loads)
+    if not loads or not all(math.isfinite(level) and level > 0 for level in loads):
+        raise ValueError(f"loads must be positive finite fractions, got {loads}")
+    return loads
+
+
+def rpc_deadline_plan(
+    load: Optional[float] = None,
+    loads: Sequence[float] = (0.1, 0.3),
+    protocols: Optional[Sequence[str]] = None,
+    fanout: int = 8,
+    request_bytes: int = 2_000,
+    response_bytes: int = 90_000,
+    deadline_us: float = 1_500.0,
+    k: int = 4,
+    warmup_ps: int = units.microseconds(500),
+    measure_ps: int = units.milliseconds(2),
+    drain_ps: int = units.milliseconds(4),
+    seed: int = 41,
+    protocol: Optional[str] = None,
+) -> Plan:
+    """One spec per (load, protocol) partition-aggregate SLO run.
+
+    ``load`` overrides ``loads`` and ``protocol`` overrides ``protocols``,
+    so ``repro.cli sweep rpc_deadline --set load=0.1,0.3 --set
+    protocol=ndp,tcp`` expands to single-point plans (the load_fct grid
+    convention).
+    """
+    loads = _validated_loads(load, loads)
+    if fanout < 1:
+        raise ValueError(f"fanout must be >= 1, got {fanout}")
+    if request_bytes <= 0 or response_bytes <= 0:
+        raise ValueError("request/response bytes must be positive")
+    if not (math.isfinite(deadline_us) and deadline_us > 0):
+        raise ValueError(f"deadline_us must be positive and finite, got {deadline_us!r}")
+    if protocol is not None:
+        protocols = (protocol,)
+    protocols = _resolve_protocols(
+        protocols, _SERVICE_DEFAULT_PROTOCOLS, FamilyTraits(family="rpc_deadline")
+    )
+    specs = [
+        RunSpec(
+            f"rpc_deadline[{name},load={level:g},fanout={fanout}]",
+            _rpc_deadline_point,
+            dict(
+                protocol=name, load=level, fanout=fanout,
+                request_bytes=request_bytes, response_bytes=response_bytes,
+                deadline_us=deadline_us, k=k, warmup_ps=warmup_ps,
+                measure_ps=measure_ps, drain_ps=drain_ps, seed=seed,
+            ),
+        )
+        for level in loads
+        for name in protocols
+    ]
+    return Plan(specs, lambda results: list(results))
+
+
+def rpc_deadline_slo(
+    load: Optional[float] = None,
+    loads: Sequence[float] = (0.1, 0.3),
+    protocols: Optional[Sequence[str]] = None,
+    fanout: int = 8,
+    request_bytes: int = 2_000,
+    response_bytes: int = 90_000,
+    deadline_us: float = 1_500.0,
+    k: int = 4,
+    warmup_ps: int = units.microseconds(500),
+    measure_ps: int = units.milliseconds(2),
+    drain_ps: int = units.milliseconds(4),
+    seed: int = 41,
+    protocol: Optional[str] = None,
+) -> List[Dict[str, object]]:
+    """Fraction of partition-aggregate requests meeting their SLO vs load.
+
+    Seeded open-loop request arrivals (each a frontend scattering
+    ``request_bytes`` to ``fanout`` workers and gathering ``response_bytes``
+    incast responses) on a k=``k`` FatTree, once per (load, protocol).  A
+    request meets its SLO when its slowest leaf delivers within
+    ``deadline_us`` of arrival; censored requests count as misses.  One row
+    per point with SLO fraction, request-latency percentiles, counts and
+    the trace/request digests (cold == cached == parallel, bit-identical).
+    """
+    return run_plan(
+        rpc_deadline_plan(
+            load, loads, protocols, fanout, request_bytes, response_bytes,
+            deadline_us, k, warmup_ps, measure_ps, drain_ps, seed, protocol,
+        )
+    )
+
+
+def _rpc_deadline_point(
+    protocol, load, fanout, request_bytes, response_bytes, deadline_us,
+    k, warmup_ps, measure_ps, drain_ps, seed,
+):
+    """Unit run: one (protocol, load) row of the partition-aggregate SLO sweep."""
+    template = PartitionAggregateTemplate(fanout, request_bytes, response_bytes)
+    deadline_ps = int(round(deadline_us * units.MICROSECOND))
+    row, engine, measured, completed = _service_point(
+        protocol, load, template, k, warmup_ps, measure_ps, drain_ps, seed,
+        deadline_ps=deadline_ps,
+    )
+    row.update(
+        fanout=fanout,
+        deadline_us=deadline_us,
+        slo_met_fraction=metrics.slo_met_fraction(
+            (run.latency_ps for run in completed), deadline_ps, total=len(measured)
+        ),
+    )
+    return row
+
+
+def coflow_ct_plan(
+    load: Optional[float] = None,
+    loads: Sequence[float] = (0.1, 0.3),
+    protocols: Optional[Sequence[str]] = None,
+    width: int = 4,
+    rounds: int = 2,
+    bytes_per_pair: int = 60_000,
+    k: int = 4,
+    warmup_ps: int = units.milliseconds(1),
+    measure_ps: int = units.milliseconds(4),
+    drain_ps: int = units.milliseconds(4),
+    seed: int = 43,
+    protocol: Optional[str] = None,
+) -> Plan:
+    """One spec per (load, protocol) shuffle-coflow run (grid conventions as
+    :func:`rpc_deadline_plan`)."""
+    loads = _validated_loads(load, loads)
+    if width < 1 or rounds < 1:
+        raise ValueError(f"width and rounds must be >= 1, got {width}x{rounds}")
+    if bytes_per_pair <= 0:
+        raise ValueError(f"bytes_per_pair must be positive, got {bytes_per_pair}")
+    if protocol is not None:
+        protocols = (protocol,)
+    protocols = _resolve_protocols(
+        protocols, _SERVICE_DEFAULT_PROTOCOLS, FamilyTraits(family="coflow_ct")
+    )
+    specs = [
+        RunSpec(
+            f"coflow_ct[{name},load={level:g},width={width}x{rounds}]",
+            _coflow_ct_point,
+            dict(
+                protocol=name, load=level, width=width, rounds=rounds,
+                bytes_per_pair=bytes_per_pair, k=k, warmup_ps=warmup_ps,
+                measure_ps=measure_ps, drain_ps=drain_ps, seed=seed,
+            ),
+        )
+        for level in loads
+        for name in protocols
+    ]
+    return Plan(specs, lambda results: list(results))
+
+
+def coflow_ct_times(
+    load: Optional[float] = None,
+    loads: Sequence[float] = (0.1, 0.3),
+    protocols: Optional[Sequence[str]] = None,
+    width: int = 4,
+    rounds: int = 2,
+    bytes_per_pair: int = 60_000,
+    k: int = 4,
+    warmup_ps: int = units.milliseconds(1),
+    measure_ps: int = units.milliseconds(4),
+    drain_ps: int = units.milliseconds(4),
+    seed: int = 43,
+    protocol: Optional[str] = None,
+) -> List[Dict[str, object]]:
+    """Coflow completion times of open-loop K-round shuffles vs load.
+
+    Each request is a ``width`` x ``width`` bipartite shuffle repeated for
+    ``rounds`` barrier-separated rounds; its CCT is slowest-leaf delivery
+    minus arrival.  One row per (load, protocol) with size-binned CCT stats
+    (bins shared with the flow-slowdown layer), counts and digests.
+    """
+    return run_plan(
+        coflow_ct_plan(
+            load, loads, protocols, width, rounds, bytes_per_pair, k,
+            warmup_ps, measure_ps, drain_ps, seed, protocol,
+        )
+    )
+
+
+def _coflow_ct_point(
+    protocol, load, width, rounds, bytes_per_pair, k,
+    warmup_ps, measure_ps, drain_ps, seed,
+):
+    """Unit run: one (protocol, load) row of the coflow CCT sweep."""
+    template = CoflowShuffleTemplate(width, bytes_per_pair, rounds)
+    row, engine, measured, completed = _service_point(
+        protocol, load, template, k, warmup_ps, measure_ps, drain_ps, seed
+    )
+    row.update(
+        width=width,
+        rounds=rounds,
+        coflow_bytes=width * width * bytes_per_pair * rounds,
+        cct_us=metrics.binned_cct_summary(
+            (run.spec.total_bytes(), run.latency_ps / units.MICROSECOND)
+            for run in completed
+        ),
+    )
+    return row
+
+
+def _service_point(
+    protocol, load, template, k, warmup_ps, measure_ps, drain_ps, seed,
+    deadline_ps=None,
+):
+    """Shared mechanics of one service-workload point: build the network,
+    synthesize the seeded request specs, execute them, and return the
+    common row fields plus the engine and measured/completed populations."""
+    eventlist = EventList()
+    network = registry.build_network(
+        protocol, eventlist, FatTreeTopology, k=k, seed=seed
+    )
+    topology = network.topology
+    request_specs = synthesize_requests(
+        topology.hosts(),
+        [template],
+        target_load=load,
+        link_rate_bps=topology.link_rate_bps,
+        warmup_ps=warmup_ps,
+        measure_ps=measure_ps,
+        drain_ps=drain_ps,
+        rng=random.Random(seed),
+        deadline_ps=deadline_ps,
+    )
+    horizon_ps = warmup_ps + measure_ps + drain_ps
+    engine = experiment.run_service_requests(
+        network,
+        request_specs,
+        horizon_ps=horizon_ps,
+        window_fn=lambda arrival: service_window_of(arrival, warmup_ps, measure_ps),
+    )
+    measured = engine.requests_in_window(MEASURE)
+    completed = [run for run in measured if run.completed]
+    latencies_us = sorted(run.latency_ps / units.MICROSECOND for run in completed)
+    row = {
+        "protocol": protocol,
+        "load": load,
+        "template": template.name,
+        "hosts": len(topology.hosts()),
+        "requests_offered": len(request_specs),
+        "requests_measured": len(measured),
+        "measured_completed": len(completed),
+        "measured_censored": len(measured) - len(completed),
+        "latency_us": metrics.population_stats(latencies_us),
+        "trace_digest": trace_digest(request_specs),
+        "request_digest": engine.request_digest(),
+    }
+    return row, engine, measured, completed
+
+
 #: experiment name (as used by ``python -m repro.cli``) -> plan builder.
 #: Every builder accepts the same keyword arguments as its generator and
 #: returns a :class:`~repro.harness.sweep.Plan`; this is the registry the
@@ -2036,4 +2311,6 @@ FIGURE_PLANS = {
     "failures_recovery": failures_recovery_plan,
     "failures_klinks": failures_klinks_plan,
     "load_fct": load_fct_plan,
+    "rpc_deadline": rpc_deadline_plan,
+    "coflow_ct": coflow_ct_plan,
 }

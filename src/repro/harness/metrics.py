@@ -234,6 +234,15 @@ def binned_slowdown_summary(
     return summary
 
 
+def population_stats(values: Sequence[float]) -> dict:
+    """count/p50/p99/p999/mean/max of any sample population (0-safe).
+
+    The reporting block shared by the slowdown, CCT and request-latency
+    summaries — ``{"count": 0}`` for an empty population.
+    """
+    return _slowdown_stats(values)
+
+
 def _slowdown_stats(values: Sequence[float]) -> dict:
     """count/p50/p99/p999/mean/max of one slowdown population (0-safe)."""
     if not values:
@@ -247,6 +256,67 @@ def _slowdown_stats(values: Sequence[float]) -> dict:
         "mean": mean(ordered),
         "max": ordered[-1],
     }
+
+
+#: size bins for coflow-completion-time reporting.  Deliberately *the same
+#: object* as :data:`DEFAULT_SLOWDOWN_BINS`: the 100 kB / 1 MB inclusive
+#: upper bounds are a single source of truth, so the flow-slowdown layer and
+#: the service-level CCT layer can never disagree on an edge case
+#: (pinned by tests/harness/test_metrics.py).
+DEFAULT_CCT_BINS: Tuple[Tuple[str, Optional[int]], ...] = DEFAULT_SLOWDOWN_BINS
+
+
+def binned_cct_summary(
+    sized_ccts: Iterable[Tuple[int, float]],
+    bins: Sequence[Tuple[str, Optional[int]]] = DEFAULT_CCT_BINS,
+) -> Dict[str, dict]:
+    """Per-size-bin coflow completion time stats.
+
+    *sized_ccts* yields ``(total_coflow_bytes, completion_time)`` pairs —
+    the coflow's size across all stages and its CCT in whatever unit the
+    caller reports (the ``coflow_ct`` family uses microseconds).  Binning
+    reuses :func:`slowdown_bin` (inclusive upper bounds), and the returned
+    shape matches :func:`binned_slowdown_summary`: ``{"all": {...},
+    "<bin>": {...}}`` with ``count``/``p50``/``p99``/``p999``/``mean``/
+    ``max`` per population, ``{"count": 0}`` when empty.
+    """
+    by_bin: Dict[str, List[float]] = {label: [] for label, _upper in bins}
+    everything: List[float] = []
+    for total_bytes, cct in sized_ccts:
+        by_bin[slowdown_bin(total_bytes, bins)].append(cct)
+        everything.append(cct)
+    summary = {"all": _slowdown_stats(everything)}
+    for label, _upper in bins:
+        summary[label] = _slowdown_stats(by_bin[label])
+    return summary
+
+
+def slo_met_fraction(
+    latencies_ps: Iterable[int],
+    deadline_ps: int,
+    total: Optional[int] = None,
+) -> float:
+    """Fraction of requests meeting an SLO deadline.
+
+    *latencies_ps* holds the latencies of *completed* requests; *total* is
+    the full measured population (defaults to the number of latencies).
+    Requests censored by the simulation horizon are therefore counted as
+    misses — pass ``total=len(measured)`` — never silently dropped.  An
+    empty population yields 0.0.
+    """
+    if deadline_ps <= 0:
+        raise ValueError(f"deadline must be positive, got {deadline_ps}")
+    latencies = list(latencies_ps)
+    denominator = total if total is not None else len(latencies)
+    if denominator < len(latencies):
+        raise ValueError(
+            f"total ({denominator}) cannot be below the number of "
+            f"completed latencies ({len(latencies)})"
+        )
+    if denominator == 0:
+        return 0.0
+    met = sum(1 for latency in latencies if latency <= deadline_ps)
+    return met / denominator
 
 
 def summarize_fcts_us(records: Iterable[FlowRecord]) -> dict:

@@ -14,7 +14,13 @@ The paper evaluates NDP under a handful of canonical datacenter workloads:
   mixes (:class:`FacebookWebFlowSizes`, :class:`WebSearchFlowSizes`,
   :class:`DataMiningFlowSizes`) arriving Poisson at a target fraction of
   bisection bandwidth, with warmup/measurement/drain windows
-  (:class:`OpenLoopGenerator`, see :mod:`repro.workloads.openloop`).
+  (:class:`OpenLoopGenerator`, see :mod:`repro.workloads.openloop`);
+* **service-level workloads** (the ``rpc_deadline``/``coflow_ct`` families)
+  — partition-aggregate RPC trees, K-round shuffles and replication
+  fan-out composed as dependency DAGs with per-request latency and SLO
+  accounting, plus a versioned JSONL trace format for deterministic
+  record/replay (:mod:`repro.workloads.services`,
+  :mod:`repro.workloads.trace`).
 """
 
 from repro.workloads.traffic_matrices import (
@@ -36,6 +42,18 @@ from repro.workloads.generators import (
     PoissonArrivals,
 )
 from repro.workloads.openloop import OpenLoopFlow, OpenLoopGenerator
+from repro.workloads.services import (
+    CoflowShuffleTemplate,
+    PartitionAggregateTemplate,
+    ReplicationFanoutTemplate,
+    ServiceEngine,
+    ServiceRequestRun,
+    ServiceRequestSpec,
+    ServiceTemplate,
+    TaskSpec,
+    synthesize_requests,
+)
+from repro.workloads.trace import TraceFile, read_trace, trace_digest, write_trace
 
 __all__ = [
     "permutation_pairs",
@@ -52,4 +70,17 @@ __all__ = [
     "MAX_ARRIVAL_GAP_PS",
     "OpenLoopFlow",
     "OpenLoopGenerator",
+    "TaskSpec",
+    "ServiceRequestSpec",
+    "ServiceTemplate",
+    "PartitionAggregateTemplate",
+    "CoflowShuffleTemplate",
+    "ReplicationFanoutTemplate",
+    "ServiceEngine",
+    "ServiceRequestRun",
+    "synthesize_requests",
+    "TraceFile",
+    "read_trace",
+    "write_trace",
+    "trace_digest",
 ]

@@ -262,3 +262,79 @@ class TestSlowdowns:
             "all": {"count": 0}, "small": {"count": 0},
             "medium": {"count": 0}, "large": {"count": 0},
         }
+
+
+class TestBinEdgeConsistency:
+    """The slowdown bins and the CCT bins must never disagree on an edge.
+
+    Both layers bin by bytes with *inclusive* upper bounds at 100 kB and
+    1 MB.  These tests pin the boundary semantics on each side and — the
+    real invariant — that the two defaults are the same object, so a future
+    edit cannot change one without the other.
+    """
+
+    def test_cct_bins_are_the_slowdown_bins(self):
+        assert metrics.DEFAULT_CCT_BINS is metrics.DEFAULT_SLOWDOWN_BINS
+
+    @pytest.mark.parametrize(
+        "size,expected",
+        [
+            (1, "small"),
+            (99_999, "small"),
+            (100_000, "small"),  # inclusive upper bound
+            (100_001, "medium"),
+            (999_999, "medium"),
+            (1_000_000, "medium"),  # inclusive upper bound
+            (1_000_001, "large"),
+            (10**12, "large"),
+        ],
+    )
+    def test_boundary_sizes(self, size, expected):
+        assert metrics.slowdown_bin(size) == expected
+        summary = metrics.binned_cct_summary([(size, 1.0)])
+        assert summary[expected]["count"] == 1
+        for label in ("small", "medium", "large"):
+            if label != expected:
+                assert summary[label]["count"] == 0
+
+    def test_cct_summary_shape_matches_slowdown_summary(self):
+        summary = metrics.binned_cct_summary(
+            [(50_000, 10.0), (100_000, 20.0), (100_001, 30.0), (2_000_000, 40.0)]
+        )
+        assert set(summary) == {"all", "small", "medium", "large"}
+        assert summary["all"]["count"] == 4
+        assert summary["small"]["count"] == 2
+        assert summary["medium"]["count"] == 1
+        assert summary["large"]["count"] == 1
+        assert set(summary["all"]) == {"count", "p50", "p99", "p999", "mean", "max"}
+
+    def test_cct_empty_population(self):
+        assert metrics.binned_cct_summary([]) == {
+            "all": {"count": 0}, "small": {"count": 0},
+            "medium": {"count": 0}, "large": {"count": 0},
+        }
+
+    def test_oversized_flow_fails_loudly_in_custom_bins(self):
+        bins = (("small", 100_000), ("medium", 1_000_000))  # no unbounded tail
+        with pytest.raises(ValueError):
+            metrics.binned_cct_summary([(2_000_000, 1.0)], bins=bins)
+
+
+class TestSloFraction:
+    def test_fraction_counts_censored_as_misses(self):
+        # 3 completed (2 within deadline), 5 measured -> 2/5
+        assert metrics.slo_met_fraction([10, 20, 99], deadline_ps=25, total=5) == 0.4
+
+    def test_deadline_is_inclusive(self):
+        assert metrics.slo_met_fraction([25], deadline_ps=25) == 1.0
+        assert metrics.slo_met_fraction([26], deadline_ps=25) == 0.0
+
+    def test_empty_population_is_zero(self):
+        assert metrics.slo_met_fraction([], deadline_ps=10) == 0.0
+        assert metrics.slo_met_fraction([], deadline_ps=10, total=0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            metrics.slo_met_fraction([1], deadline_ps=0)
+        with pytest.raises(ValueError):
+            metrics.slo_met_fraction([1, 2, 3], deadline_ps=10, total=2)
