@@ -13,6 +13,16 @@ The baseline lives in ``benchmarks/perf/baseline_seed.json`` and was captured
 on the pre-rework (pure-heapq) scheduler; ``BENCH_perf.json`` reports both
 sets of numbers, the speedup, and whether the seeded flow digests still
 match bit-for-bit.
+
+``BENCH_perf.json`` stays a single overwritten snapshot (compatibility
+with everything that reads it), but each timed run now *also* appends one
+schema-versioned record per scenario — keyed by scenario name and git SHA —
+to ``BENCH_history.jsonl`` at the repository root, through the atomic
+(lock + temp file + rename) writer in :mod:`repro.analysis.history`.  The
+trajectory renders via ``python -m repro.cli render perf --out DIR`` and
+gates CI via ``tools/check_perf.py``.  ``--history PATH`` redirects the
+trail (tests use this); ``--no-history`` skips the append (baseline
+captures never append — they are references, not trajectory points).
 """
 
 from __future__ import annotations
@@ -21,7 +31,9 @@ import argparse
 import json
 import os
 import platform
+import subprocess
 import sys
+import time
 
 _HERE = os.path.dirname(os.path.abspath(__file__))
 _ROOT = os.path.dirname(os.path.dirname(_HERE))
@@ -34,6 +46,22 @@ from benchmarks.perf.scenarios import SCENARIOS  # noqa: E402
 
 BASELINE_PATH = os.path.join(_HERE, "baseline_seed.json")
 REPORT_PATH = os.path.join(_ROOT, "BENCH_perf.json")
+HISTORY_PATH = os.path.join(_ROOT, "BENCH_history.jsonl")
+
+
+def _git_sha() -> str:
+    """HEAD's SHA, falling back to ``$GITHUB_SHA`` then ``"unknown"``."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=_ROOT, capture_output=True, text=True, timeout=10,
+        )
+        sha = completed.stdout.strip()
+        if completed.returncode == 0 and sha:
+            return sha
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return os.environ.get("GITHUB_SHA", "").strip() or "unknown"
 
 
 def run_all(seed: int = 1) -> dict:
@@ -58,6 +86,14 @@ def main(argv=None) -> int:
         help="store the measurements as the reference baseline instead of comparing",
     )
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--history", default=HISTORY_PATH, metavar="PATH",
+        help="perf-history JSONL to append this capture to",
+    )
+    parser.add_argument(
+        "--no-history", action="store_true",
+        help="do not append this capture to the perf history",
+    )
     args = parser.parse_args(argv)
 
     results = run_all(seed=args.seed)
@@ -108,6 +144,18 @@ def main(argv=None) -> int:
     with open(REPORT_PATH, "w") as fh:
         json.dump(report, fh, indent=2)
     print(f"report written to {REPORT_PATH}")
+
+    if not args.no_history:
+        from repro.analysis import history
+
+        records = history.make_records(
+            results, environment, git_sha=_git_sha(), captured_at_unix=time.time()
+        )
+        total = history.append_history(args.history, records)
+        print(
+            f"history: {len(records)} record(s) appended to {args.history} "
+            f"({total} total)"
+        )
     return 0
 
 

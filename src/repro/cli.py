@@ -9,6 +9,9 @@ Usage::
     python -m repro.cli fig16 --no-cache     # force a fresh simulation
     python -m repro.cli sweep fig16 --set response_bytes=90000,450000 \\
         --set seed=1,2 --jobs 4              # user-defined parameter grid
+    python -m repro.cli render --out artifacts # every registered figure ->
+                                             #   CSV + Vega-Lite + index.html
+    python -m repro.cli render fig16 perf --out artifacts --jobs 4
 
 Each experiment name maps to a generator in :mod:`repro.harness.figures`.
 Experiments are decomposed into independent per-point runs (see
@@ -40,6 +43,16 @@ meaningless — e.g. DCQCN, which needs an intact PFC fabric, under a
 link-severing failure family — are reported as skipped with the reason
 instead of failing the sweep.
 
+The ``render`` subcommand is the results-to-figures pipeline
+(:mod:`repro.analysis`): it materializes each registered figure as a
+canonical CSV plus a Vega-Lite spec and writes one ``index.html`` over
+them all into ``--out DIR``.  Renders consume the same result cache as
+plain runs, and the written artifacts are byte-identical across cold,
+cached and ``--jobs N`` executions (locked down by
+``tests/analysis/test_golden.py``).  The ``perf`` figure charts the
+events/sec trajectory recorded in ``BENCH_history.jsonl`` by
+``benchmarks/perf/run_perf.py``.
+
 See ``docs/experiments.md`` for the catalogue of experiment families, the
 claims they pin and worked invocations.
 """
@@ -50,6 +63,7 @@ import argparse
 import inspect
 import itertools
 import json
+import os
 import sys
 import time
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence
@@ -116,6 +130,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--quiet", "-q", action="store_true",
         help="suppress per-run progress lines",
     )
+    parser.add_argument(
+        "--out", metavar="DIR",
+        help="(render only) directory to write figure artifacts into",
+    )
+    parser.add_argument(
+        "--png", action="store_true",
+        help="(render only) also rasterize plots, when matplotlib is available",
+    )
     args = parser.parse_args(argv)
 
     if args.jobs < 1:
@@ -128,6 +150,10 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     cache = None if args.no_cache else sweep.default_cache()
 
+    if args.experiments[0] == "render":
+        return _run_render(
+            args.experiments[1:], args.out, args.jobs, cache, args.quiet, args.png
+        )
     if args.experiments[0] == "sweep":
         return _run_sweep(args.experiments[1:], args.grid, args.jobs, cache, args.quiet)
     if args.grid:
@@ -269,6 +295,55 @@ def _run_sweep(
     return 0
 
 
+def _run_render(
+    names: List[str], out_dir: str | None, jobs: int, cache, quiet: bool, png: bool
+) -> int:
+    """Materialize figure artifacts (CSV + Vega-Lite + HTML index)."""
+    from repro import analysis
+
+    if not out_dir:
+        print("render requires --out DIR (where to write the artifacts)",
+              file=sys.stderr)
+        return 2
+    if not names:
+        names = list(analysis.REGISTERED_FIGURES)
+    unknown = [name for name in names if name not in analysis.REGISTERED_FIGURES]
+    if unknown:
+        print(
+            f"unknown figure(s): {', '.join(unknown)} "
+            f"(registered: {', '.join(analysis.REGISTERED_FIGURES)})",
+            file=sys.stderr,
+        )
+        return 2
+
+    started = time.time()
+    baseline = _cache_counters(cache)
+    total_specs = sum(
+        len(figures.FIGURE_PLANS[figure.family]().specs)
+        for figure in (analysis.REGISTERED_FIGURES[name] for name in names)
+        if figure.family is not None
+    )
+    progress = None if quiet else _progress_printer(total_specs)
+    try:
+        report = analysis.render_figures(
+            names, out_dir, jobs=jobs, cache=cache, on_result=progress, png=png
+        )
+    except RuntimeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        if cache is not None:
+            print("(completed runs were cached and will be reused)", file=sys.stderr)
+        return 1
+
+    for name in report.figures:
+        print(f"  {name}: {name}.csv {name}.vl.json "
+              f"({report.rows_per_figure[name]} rows)")
+    if report.png_note:
+        print(f"note: {report.png_note}", file=sys.stderr)
+    print(f"index: {os.path.join(report.out_dir, 'index.html')}")
+    _print_run_summary(total_specs, cache, baseline, started)
+    return 0
+
+
 def _parse_grid(grid_args: List[str]) -> Dict[str, List[Any]]:
     """Parse repeated ``--set key=v1,v2`` options into {key: [values]}.
 
@@ -363,6 +438,8 @@ def _print_catalogue() -> None:
         print(f"  {name:8s} {description}")
     print("\n  all      run every experiment (combine with --jobs N)")
     print("  sweep    run one experiment over a parameter grid (--set key=v1,v2)")
+    print("  render   write figure artifacts (CSV + Vega-Lite + index.html) "
+          "to --out DIR")
 
 
 def _print_result(result: object) -> None:

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.core.config import NdpConfig
 from repro.core.switch import CpSwitchQueue, NdpSwitchQueue
@@ -2280,6 +2280,62 @@ def _service_point(
         "request_digest": engine.request_digest(),
     }
     return row, engine, measured, completed
+
+
+# ---------------------------------------------------------------------------
+# Plan -> artifact metadata (consumed by repro.analysis)
+# ---------------------------------------------------------------------------
+
+class ArtifactMeta(NamedTuple):
+    """How a figure family's tabulated rows become a chart.
+
+    The results-to-figures pipeline (:mod:`repro.analysis`) renders every
+    registered figure as a canonical CSV plus a Vega-Lite spec; this tuple
+    carries the chart-level facts that live with the experiment rather than
+    the renderer: what to call it, which columns form the axes, which
+    column splits the series, and the mark type.  ``x_type`` is the
+    Vega-Lite encoding type of the x column (``quantitative`` /
+    ``ordinal`` / ``nominal``).
+    """
+
+    title: str
+    mark: str
+    x: str
+    y: str
+    series: Optional[str] = None
+    x_type: str = "quantitative"
+
+
+#: figure family -> chart metadata for the families the analysis layer
+#: renders (see ``repro.analysis.registry`` for the row tabulators; the two
+#: registries are cross-checked by ``tests/analysis``).  Column names refer
+#: to the *tabulated* (flattened) CSV columns, not the raw result keys.
+FIGURE_META: Dict[str, ArtifactMeta] = {
+    "fig10": ArtifactMeta(
+        "Short-flow FCT with receiver-side prioritization",
+        "bar", "scenario", "fct_us", x_type="nominal",
+    ),
+    "fig11": ArtifactMeta(
+        "Throughput vs initial window (back-to-back hosts)",
+        "line", "initial_window", "throughput_gbps",
+    ),
+    "fig12": ArtifactMeta(
+        "Pull-spacing distribution of the experimental pacer",
+        "bar", "packet_bytes", "median_us", x_type="ordinal",
+    ),
+    "fig13": ArtifactMeta(
+        "Incast FCT with perfect vs jittered pull spacing",
+        "line", "flow_kb", "fct_us", series="pacer",
+    ),
+    "fig16": ArtifactMeta(
+        "Incast completion time vs number of senders",
+        "line", "senders", "completion_ms", series="protocol",
+    ),
+    "load_fct": ArtifactMeta(
+        "p99 FCT slowdown vs offered load (open-loop)",
+        "line", "load", "slowdown.all.p99", series="protocol",
+    ),
+}
 
 
 #: experiment name (as used by ``python -m repro.cli``) -> plan builder.

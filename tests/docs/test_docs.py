@@ -54,3 +54,31 @@ def test_handbook_check_catches_a_registry_mismatch(monkeypatch):
     monkeypatch.setitem(figures.FIGURE_PLANS, "fig_orphan", lambda: None)
     problems = check_docs.check_experiments_handbook()
     assert any("registry mismatch" in p and "fig_orphan" in p for p in problems)
+
+
+def test_rendered_figures_are_documented_and_wired():
+    assert check_docs.check_rendered_figures() == []
+
+
+def test_figure_check_catches_an_undocumented_or_dangling_figure(monkeypatch):
+    """A registered render figure must be in the handbook and name a real
+    family — both failure modes must be caught, not discovered at render
+    time."""
+    from repro.analysis import registry
+    from repro.harness.figures import FIGURE_META
+
+    ghost = registry.RegisteredFigure(
+        name="fig_ghost",
+        description="not documented anywhere",
+        meta=FIGURE_META["fig12"],
+        tabulate=lambda assembled: [],
+        family="no_such_family",
+    )
+    monkeypatch.setitem(registry.REGISTERED_FIGURES, "fig_ghost", ghost)
+    problems = check_docs.check_rendered_figures()
+    assert any(
+        "docs/experiments.md" in p and "fig_ghost" in p for p in problems
+    )
+    assert any(
+        "unknown family" in p and "no_such_family" in p for p in problems
+    )

@@ -14,7 +14,11 @@ Checks, without any network access:
 4. every experiment family in ``repro.harness.figures.FIGURE_PLANS`` is
    covered by the experiments handbook (``docs/experiments.md``) *and* the
    README figure index, and the two registries (``FIGURE_PLANS`` /
-   ``EXPERIMENTS``) agree — the experiment catalogue cannot rot.
+   ``EXPERIMENTS``) agree — the experiment catalogue cannot rot;
+5. every figure registered in the results-to-figures pipeline
+   (``repro.analysis.registry.REGISTERED_FIGURES``) appears in the
+   handbook, and every simulation-backed one names a real ``FIGURE_PLANS``
+   family with chart metadata — ``render`` output cannot go undocumented.
 
 Run from anywhere: ``python tools/check_docs.py``.  Exits non-zero and
 prints one line per problem; also exercised by ``tests/docs/test_docs.py``
@@ -145,8 +149,54 @@ def check_experiments_handbook() -> List[str]:
     return problems
 
 
+def check_rendered_figures() -> List[str]:
+    """Every registered ``render`` figure must be documented and wired.
+
+    Names are looked up as backticked code spans in the handbook, like the
+    experiment families.  Wiring: a family-backed registration must point
+    at an existing ``FIGURE_PLANS`` entry and carry ``FIGURE_META`` chart
+    metadata — a dangling registration would only surface at render time
+    otherwise.
+    """
+    sys.path.insert(0, os.path.join(ROOT, "src"))
+    try:
+        from repro.analysis.registry import REGISTERED_FIGURES
+        from repro.harness.figures import FIGURE_META, FIGURE_PLANS
+    except Exception as error:  # pragma: no cover - import environment issue
+        return [f"could not import repro.analysis to verify the figure registry: {error}"]
+    problems = []
+    handbook = os.path.join(ROOT, "docs", "experiments.md")
+    if not os.path.exists(handbook):
+        return ["docs/experiments.md is missing"]
+    with open(handbook, "r", encoding="utf-8") as fh:
+        handbook_text = fh.read()
+    for name, figure in REGISTERED_FIGURES.items():
+        if f"`{name}`" not in handbook_text:
+            problems.append(
+                f"docs/experiments.md: rendered figure {name!r} missing from "
+                f"the handbook (From runs to figures)"
+            )
+        if figure.family is not None:
+            if figure.family not in FIGURE_PLANS:
+                problems.append(
+                    f"figure registry: {name!r} names unknown family "
+                    f"{figure.family!r}"
+                )
+            if figure.family not in FIGURE_META:
+                problems.append(
+                    f"figure registry: family {figure.family!r} of {name!r} "
+                    f"has no FIGURE_META chart metadata"
+                )
+    return problems
+
+
 def main() -> int:
-    problems = check_links() + check_figure_index() + check_experiments_handbook()
+    problems = (
+        check_links()
+        + check_figure_index()
+        + check_experiments_handbook()
+        + check_rendered_figures()
+    )
     for problem in problems:
         print(problem, file=sys.stderr)
     if problems:
