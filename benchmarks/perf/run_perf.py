@@ -42,7 +42,12 @@ for path in (_ROOT, _SRC):
     if path not in sys.path:
         sys.path.insert(0, path)
 
+from benchmarks.perf.micro import MICRO_SCENARIOS  # noqa: E402
 from benchmarks.perf.scenarios import SCENARIOS  # noqa: E402
+
+#: full benchmark matrix: the seeded scenario runs plus the primitive
+#: micros (pool cycle, raw entries, batched/singleton queue drains)
+ALL_SCENARIOS = {**SCENARIOS, **MICRO_SCENARIOS}
 
 BASELINE_PATH = os.path.join(_HERE, "baseline_seed.json")
 REPORT_PATH = os.path.join(_ROOT, "BENCH_perf.json")
@@ -66,7 +71,7 @@ def _git_sha() -> str:
 
 def run_all(seed: int = 1) -> dict:
     results = {}
-    for name, runner in SCENARIOS.items():
+    for name, runner in ALL_SCENARIOS.items():
         result = runner(seed=seed)
         results[name] = result.as_dict()
         print(

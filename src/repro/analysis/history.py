@@ -42,8 +42,15 @@ __all__ = [
 
 #: schema identifier stamped into every record
 SCHEMA = "repro.perf_history"
-#: current record version; bump on incompatible field changes
-SCHEMA_VERSION = 1
+#: current record version; bump on incompatible field changes.
+#:
+#: * **v1** — the PR 8 layout: the required measurement fields below.
+#: * **v2** — adds the optional allocation metrics ``allocs_per_event`` and
+#:   ``legacy_allocs_per_event`` (the columnar packet core's headline
+#:   numbers).  Optional means exactly that: a v2 record without them is
+#:   valid, and a v1 record (which cannot have them) reads unchanged — the
+#:   reader accepts every version ``<= SCHEMA_VERSION``.
+SCHEMA_VERSION = 2
 
 #: a lock older than this is assumed to belong to a dead writer
 _LOCK_STALE_SECONDS = 30.0
@@ -78,7 +85,10 @@ def make_records(
 
     *scenarios* is the ``{name: measurement}`` mapping a perf run produces
     (``PerfResult.as_dict()`` values); per-transport extras (the
-    ``transport_matrix`` sub-digests) are carried along untouched.
+    ``transport_matrix`` sub-digests) are carried along untouched, as are
+    the schema-v2 optional allocation metrics (``allocs_per_event`` /
+    ``legacy_allocs_per_event``) — present when the scenario has a packet
+    pool to count, absent otherwise, never required.
     """
     records = []
     for name, measurement in scenarios.items():

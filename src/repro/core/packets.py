@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Optional, TYPE_CHECKING
 
+from repro.sim import packet as _packet_mod
 from repro.sim.packet import Packet, PacketPriority, Route
 from repro.sim.units import HEADER_BYTES
 
@@ -52,7 +53,13 @@ class NdpDataPacket(Packet):
     ) -> None:
         # flattened Packet.__init__: one of these is allocated per transmit,
         # so the two-frame super() chain is replaced with direct field writes
+        # (the pooled fast path in NdpSrc._transmit bypasses __init__
+        # entirely; this constructor serves tests and unpooled callers)
+        _packet_mod._CONSTRUCTIONS += 1
         size = payload_bytes + header_bytes
+        self._pool = None
+        self._handle = -1
+        self._gen = 0
         self.flow_id = flow_id
         self.src = src
         self.dst = dst
@@ -90,6 +97,10 @@ class NdpControlPacket(Packet):
         header_bytes: int = HEADER_BYTES,
     ) -> None:
         # flattened Packet.__init__ (see NdpDataPacket: one per ACK/NACK/PULL)
+        _packet_mod._CONSTRUCTIONS += 1
+        self._pool = None
+        self._handle = -1
+        self._gen = 0
         self.flow_id = flow_id
         self.src = src
         self.dst = dst

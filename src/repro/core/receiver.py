@@ -41,7 +41,10 @@ from repro.core.pull_queue import NdpPullPacer
 from repro.sim.eventlist import EventList, Timer
 from repro.sim.logger import FlowRecord
 from repro.sim.network import NetworkEndpoint
-from repro.sim.packet import Packet, Route
+from repro.sim.packet import Packet, PacketPriority, Route
+from repro.sim.pool import PacketPool
+
+_HIGH = PacketPriority.HIGH
 
 
 class NdpSink(NetworkEndpoint):
@@ -68,6 +71,10 @@ class NdpSink(NetworkEndpoint):
         "acks_sent",
         "nacks_sent",
         "pulls_emitted",
+        "pool",
+        "_ack_free",
+        "_nack_free",
+        "_pull_free",
     )
 
     def __init__(
@@ -82,6 +89,7 @@ class NdpSink(NetworkEndpoint):
         priority: bool = False,
         on_complete: Optional[Callable[["NdpSink"], None]] = None,
         name: Optional[str] = None,
+        pool: Optional[PacketPool] = None,
     ) -> None:
         super().__init__(eventlist, node_id, name or f"ndp-sink-{flow_id}")
         self.flow_id = flow_id
@@ -104,6 +112,13 @@ class NdpSink(NetworkEndpoint):
         self.acks_sent = 0
         self.nacks_sent = 0
         self.pulls_emitted = 0
+        # slot pool for outgoing control packets (shared network-wide when
+        # the harness provides one): the free lists are hoisted so each
+        # emission is a pop + field writes on the fast path
+        self.pool = pool if pool is not None else PacketPool()
+        self._ack_free = self.pool.free_list(NdpAck)
+        self._nack_free = self.pool.free_list(NdpNack)
+        self._pull_free = self.pool.free_list(NdpPull)
         self.pacer.register(self)
 
     # --- wiring -----------------------------------------------------------------
@@ -183,6 +198,11 @@ class NdpSink(NetworkEndpoint):
             self._handle_header(packet)
         else:
             self._handle_data(packet)
+        # the sink consumes every data packet (and trimmed header) delivered
+        # to it; the handlers above never retain a reference
+        pool = packet._pool
+        if pool is not None:
+            pool.release(packet)
 
     def _handle_data(self, packet: NdpDataPacket) -> None:
         self.record.packets_delivered += 1
@@ -190,17 +210,34 @@ class NdpSink(NetworkEndpoint):
         if seqno not in self._received:
             self._received.add(seqno)
             self.record.bytes_delivered += packet.payload_bytes
-        # positional construction: one ACK per arriving data packet
-        self._send_control(
-            NdpAck(
-                self.flow_id,
-                self.node_id,
-                packet.src,
-                seqno,
-                packet.path_id,
-                self.config.header_bytes,
-            )
-        )
+        # slot-pool allocation: one ACK per arriving data packet.  Every
+        # protocol-visible field is written (a revived facade carries its
+        # previous life's values); route/hop/send_time are stamped by
+        # _send_control immediately below.
+        pool = self.pool
+        free = self._ack_free
+        if free:
+            ack = free.pop()
+            ack._gen = pool.generation[ack._handle]
+            pool.live_cls[ack._handle] = NdpAck
+            pool.reused += 1
+        else:
+            ack = NdpAck.__new__(NdpAck)
+            pool.adopt(ack)
+        header_bytes = self.config.header_bytes
+        ack.flow_id = self.flow_id
+        ack.src = self.node_id
+        ack.dst = packet.src
+        ack.size = header_bytes
+        ack.original_size = header_bytes
+        ack.seqno = seqno
+        ack.priority = _HIGH
+        ack.is_header_only = False
+        ack.bounced = False
+        ack.ecn_capable = False
+        ack.ecn_ce = False
+        ack.data_path_id = packet.path_id
+        self._send_control(ack)
         self.acks_sent += 1
         # inlined completeness / pull-gate checks (once per data arrival):
         # semantics match the `complete` property and the pacer pull gate
@@ -225,16 +262,31 @@ class NdpSink(NetworkEndpoint):
 
     def _handle_header(self, packet: NdpDataPacket) -> None:
         self.record.headers_received += 1
-        self._send_control(
-            NdpNack(
-                self.flow_id,
-                self.node_id,
-                packet.src,
-                packet.seqno,
-                packet.path_id,
-                self.config.header_bytes,
-            )
-        )
+        # slot-pool allocation: one NACK per trimmed header (see _handle_data)
+        pool = self.pool
+        free = self._nack_free
+        if free:
+            nack = free.pop()
+            nack._gen = pool.generation[nack._handle]
+            pool.live_cls[nack._handle] = NdpNack
+            pool.reused += 1
+        else:
+            nack = NdpNack.__new__(NdpNack)
+            pool.adopt(nack)
+        header_bytes = self.config.header_bytes
+        nack.flow_id = self.flow_id
+        nack.src = self.node_id
+        nack.dst = packet.src
+        nack.size = header_bytes
+        nack.original_size = header_bytes
+        nack.seqno = packet.seqno
+        nack.priority = _HIGH
+        nack.is_header_only = False
+        nack.bounced = False
+        nack.ecn_capable = False
+        nack.ecn_ce = False
+        nack.data_path_id = packet.path_id
+        self._send_control(nack)
         self.nacks_sent += 1
         # inlined completeness / pull-gate (matches _handle_data above)
         expected = self._expected_packets
@@ -266,15 +318,33 @@ class NdpSink(NetworkEndpoint):
             return
         self._pull_counter += 1
         self.pulls_emitted += 1
-        self._send_control(
-            NdpPull(
-                flow_id=self.flow_id,
-                src=self.node_id,
-                dst=self.src_node_id,
-                pull_counter=self._pull_counter,
-                header_bytes=self.config.header_bytes,
-            )
-        )
+        # slot-pool allocation: one PULL per pacer grant (see _handle_data)
+        pool = self.pool
+        free = self._pull_free
+        if free:
+            pull = free.pop()
+            pull._gen = pool.generation[pull._handle]
+            pool.live_cls[pull._handle] = NdpPull
+            pool.reused += 1
+        else:
+            pull = NdpPull.__new__(NdpPull)
+            pool.adopt(pull)
+        header_bytes = self.config.header_bytes
+        counter = self._pull_counter
+        pull.flow_id = self.flow_id
+        pull.src = self.node_id
+        pull.dst = self.src_node_id
+        pull.size = header_bytes
+        pull.original_size = header_bytes
+        pull.seqno = counter
+        pull.priority = _HIGH
+        pull.is_header_only = False
+        pull.bounced = False
+        pull.ecn_capable = False
+        pull.ecn_ce = False
+        pull.data_path_id = 0
+        pull.pull_counter = counter
+        self._send_control(pull)
 
     # --- liveness ----------------------------------------------------------------------
 

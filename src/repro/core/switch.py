@@ -250,14 +250,19 @@ class NdpSwitchQueue(BaseQueue):
         if packet.is_control():
             self.control_dropped += 1
         self.stats.record_drop(packet.size)
+        packet.release()  # slot pool: a dropped packet dies here
 
     def _purge_backlog(self) -> None:
         # link-down (BaseQueue.sever): both priority queues are lost
         stats = self.stats
         while self._data_queue:
-            stats.record_drop(self._data_queue.popleft().size)
+            packet = self._data_queue.popleft()
+            stats.record_drop(packet.size)
+            packet.release()  # slot pool: dies with the link
         while self._header_queue:
-            stats.record_drop(self._header_queue.popleft().size)
+            packet = self._header_queue.popleft()
+            stats.record_drop(packet.size)
+            packet.release()  # slot pool: dies with the link
         self._data_bytes = 0
         self._header_bytes = 0
         self.queue_bytes = 0
@@ -325,7 +330,18 @@ class NdpSwitchQueue(BaseQueue):
         eventlist = self.eventlist
         when = eventlist._now + delay
         seq = eventlist._sequence = eventlist._sequence + 1
-        entry = (when, seq, None, 0, self._complete_cb, ())
+        pool = eventlist._entry_pool
+        if pool:
+            entry = pool.pop()
+            entry[0] = when
+            entry[1] = seq
+            entry[2] = None
+            entry[3] = 0
+            entry[4] = self._complete_cb
+            entry[5] = None
+        else:
+            eventlist.entry_allocs += 1
+            entry = [when, seq, None, 0, self._complete_cb, None]
         delta = (when >> _WHEEL_SHIFT) - eventlist._cursor
         if delta <= 0:
             _insort(eventlist._cur_spill, entry)
@@ -338,87 +354,124 @@ class NdpSwitchQueue(BaseQueue):
 
     def _complete_service(self) -> None:
         # Specialized copy of BaseQueue._complete_service with the WRR
-        # selection and service start fused into the tail — the congested
-        # port of an incast lives in this method, so every saved call frame
-        # counts.  Keep semantics in sync with the base implementation.
-        packet = self._in_service
-        self._in_service = None
-        self._busy = False
-        if packet is not None:
-            stats = self.stats
-            size = packet.size
-            stats.packets_forwarded += 1
-            stats.bytes_forwarded += size
-            if not packet.is_header_only:
-                stats.data_bytes_forwarded += size
-            if self._has_departed_hook:
-                self._packet_departed(packet)
-            hop = packet.hop
-            elements = packet.route.elements
-            nxt = elements[hop]
-            if type(nxt) is Pipe:
-                nxt.packets_carried += 1
-                nxt.bytes_carried += size
-                packet.hop = hop + 2
-                eventlist = self.eventlist
-                when = eventlist._now + nxt.delay_ps
-                seq = eventlist._sequence = eventlist._sequence + 1
-                entry = (when, seq, None, 0, elements[hop + 1].receive_packet, (packet,))
-                delta = (when >> _WHEEL_SHIFT) - eventlist._cursor
-                if delta <= 0:
-                    _insort(eventlist._cur_spill, entry)
-                    eventlist._wheel_count += 1
-                elif delta < _WHEEL_SLOTS:
-                    eventlist._wheel[(when >> _WHEEL_SHIFT) & _WHEEL_MASK].append(entry)
-                    eventlist._wheel_count += 1
-                else:
-                    _heappush(eventlist._far, entry)
-            else:
-                packet.hop = hop + 1
-                nxt.receive_packet(packet)
-        # fused _maybe_start_service (forwarding above can re-enter, so the
-        # busy re-check is required)
-        if self._busy or self._paused:
-            return
-        header_queue = self._header_queue
-        data_queue = self._data_queue
-        if header_queue and (
-            not data_queue or self._headers_since_data < self._wrr_ratio
-        ):
-            packet = header_queue.popleft()
-            self._header_bytes -= packet.size
-            self._headers_since_data += 1
-        elif data_queue:
-            packet = data_queue.popleft()
-            self._data_bytes -= packet.size
-            self._headers_since_data = 0
-        else:
-            return
-        self.queue_bytes = self._data_bytes + self._header_bytes
-        self._busy = True
-        self._in_service = packet
-        size = packet.size
-        try:
-            delay = self._ser_cache[size]
-        except KeyError:
-            delay = self._ser_cache[size] = (
-                size * _BITS_PS + self._rate_half
-            ) // self.service_rate_bps
-        if self.serialization_jitter_ps:
-            delay += self._jitter_rng.randint(0, self.serialization_jitter_ps)
+        # selection and service start fused into the drain loop — the
+        # congested port of an incast lives in this method, so every saved
+        # call frame counts.  Keep semantics in sync with the base
+        # implementation, including the fast-forward guard (a batched
+        # completion may only run inline when it strictly precedes every
+        # other pending event).
         eventlist = self.eventlist
-        when = eventlist._now + delay
-        seq = eventlist._sequence = eventlist._sequence + 1
-        entry = (when, seq, None, 0, self._complete_cb, ())
-        delta = (when >> _WHEEL_SHIFT) - eventlist._cursor
-        if delta <= 0:
-            _insort(eventlist._cur_spill, entry)
-            eventlist._wheel_count += 1
-        elif delta < _WHEEL_SLOTS:
-            eventlist._wheel[(when >> _WHEEL_SHIFT) & _WHEEL_MASK].append(entry)
-            eventlist._wheel_count += 1
-        else:
-            _heappush(eventlist._far, entry)
+        while True:
+            packet = self._in_service
+            self._in_service = None
+            self._busy = False
+            if packet is not None:
+                stats = self.stats
+                size = packet.size
+                stats.packets_forwarded += 1
+                stats.bytes_forwarded += size
+                if not packet.is_header_only:
+                    stats.data_bytes_forwarded += size
+                if self._has_departed_hook:
+                    self._packet_departed(packet)
+                hop = packet.hop
+                elements = packet.route.elements
+                nxt = elements[hop]
+                if type(nxt) is Pipe:
+                    nxt.packets_carried += 1
+                    nxt.bytes_carried += size
+                    packet.hop = hop + 2
+                    when = eventlist._now + nxt.delay_ps
+                    seq = eventlist._sequence = eventlist._sequence + 1
+                    pool = eventlist._entry_pool
+                    if pool:
+                        entry = pool.pop()
+                        entry[0] = when
+                        entry[1] = seq
+                        entry[2] = None
+                        entry[3] = 1
+                        entry[4] = elements[hop + 1].receive_packet
+                        entry[5] = packet
+                    else:
+                        eventlist.entry_allocs += 1
+                        entry = [when, seq, None, 1,
+                                 elements[hop + 1].receive_packet, packet]
+                    delta = (when >> _WHEEL_SHIFT) - eventlist._cursor
+                    if delta <= 0:
+                        _insort(eventlist._cur_spill, entry)
+                        eventlist._wheel_count += 1
+                    elif delta < _WHEEL_SLOTS:
+                        eventlist._wheel[(when >> _WHEEL_SHIFT) & _WHEEL_MASK].append(entry)
+                        eventlist._wheel_count += 1
+                    else:
+                        _heappush(eventlist._far, entry)
+                else:
+                    packet.hop = hop + 1
+                    nxt.receive_packet(packet)
+            # fused _maybe_start_service (forwarding above can re-enter, so
+            # the busy re-check is required)
+            if self._busy or self._paused:
+                return
+            header_queue = self._header_queue
+            data_queue = self._data_queue
+            if header_queue and (
+                not data_queue or self._headers_since_data < self._wrr_ratio
+            ):
+                packet = header_queue.popleft()
+                self._header_bytes -= packet.size
+                self._headers_since_data += 1
+            elif data_queue:
+                packet = data_queue.popleft()
+                self._data_bytes -= packet.size
+                self._headers_since_data = 0
+            else:
+                return
+            self.queue_bytes = self._data_bytes + self._header_bytes
+            self._busy = True
+            self._in_service = packet
+            size = packet.size
+            try:
+                delay = self._ser_cache[size]
+            except KeyError:
+                delay = self._ser_cache[size] = (
+                    size * _BITS_PS + self._rate_half
+                ) // self.service_rate_bps
+            if self.serialization_jitter_ps:
+                delay += self._jitter_rng.randint(0, self.serialization_jitter_ps)
+            when = eventlist._now + delay
+            if when < eventlist._ff_bound:
+                cur = eventlist._cur
+                pos = eventlist._cur_pos
+                if pos >= len(cur) or cur[pos][0] > when:
+                    spill = eventlist._cur_spill
+                    spos = eventlist._spill_pos
+                    if spos >= len(spill) or spill[spos][0] > when:
+                        eventlist._now = when
+                        eventlist.events_executed += 1
+                        continue
+            seq = eventlist._sequence = eventlist._sequence + 1
+            pool = eventlist._entry_pool
+            if pool:
+                entry = pool.pop()
+                entry[0] = when
+                entry[1] = seq
+                entry[2] = None
+                entry[3] = 0
+                entry[4] = self._complete_cb
+                entry[5] = None
+            else:
+                eventlist.entry_allocs += 1
+                entry = [when, seq, None, 0, self._complete_cb, None]
+            delta = (when >> _WHEEL_SHIFT) - eventlist._cursor
+            if delta <= 0:
+                _insort(eventlist._cur_spill, entry)
+                eventlist._wheel_count += 1
+            elif delta < _WHEEL_SLOTS:
+                eventlist._wheel[(when >> _WHEEL_SHIFT) & _WHEEL_MASK].append(entry)
+                eventlist._wheel_count += 1
+            else:
+                _heappush(eventlist._far, entry)
+            return
 
 
 class CpSwitchQueue(BaseQueue):
@@ -458,6 +511,7 @@ class CpSwitchQueue(BaseQueue):
             is_data = False
         if not is_data and self.queue_bytes + packet.size > self.max_queue_bytes:
             self.stats.record_drop(packet.size)
+            packet.release()  # slot pool: a dropped packet dies here
             return
         if is_data:
             self._data_packets_queued += 1

@@ -10,33 +10,59 @@ Internally the scheduler keeps two tiers:
 
 * a **timing wheel** of :data:`_WHEEL_SLOTS` buckets, each
   ``2**_WHEEL_SHIFT`` picoseconds wide, holding every event that falls
-  within the wheel horizon (a few milliseconds — which covers serialization
-  times, propagation delays, pull-pacer intervals and the NDP RTO).
-  Insertion into a future bucket is an O(1) ``list.append``;
-* a conventional **far heap** for events beyond the horizon.
+  within the wheel horizon (a few milliseconds — which covers
+  serialization times, propagation delays, pull-pacer intervals and the
+  NDP RTO).  Insertion into a future bucket is an O(1) ``list.append``;
+* a conventional **far heap** for events beyond the horizon (watchdogs,
+  experiment end markers).
 
 The slot under the cursor is drained in batch: the bucket is sorted once
 (C-speed timsort) and walked by index, so the common case costs no heap
 sifting at all.  Events scheduled *into* the slot currently being drained
 (e.g. a 64-byte control packet whose serialization time is shorter than one
-slot) go to a small spill heap that is merged on the fly.
+slot) go to a small spill list that is merged on the fly.
 
-All three structures store uniform ``(when, seq, obj, gen, callback, args)``
-entries, where ``seq`` is a global insertion counter: merging the tiers by
-``(when, seq)`` therefore reproduces exactly the execution order of the
-original single-heap implementation.  ``obj``/``gen`` implement O(1)
-cancellation for :class:`Event` and the reusable :class:`Timer` — a
-cancelled or re-armed entry is recognised by a generation mismatch and
-skipped.  When cancelled entries pile up, the scheduler eagerly evicts them
-(:meth:`EventList._compact`) instead of letting them linger until they
-surface, which keeps the pending queue — and every subsequent scheduling
-operation — small.
+All three structures store uniform **six-slot list** entries
+``[when, seq, obj, gen, callback, arg]``, where ``seq`` is a global
+insertion counter: merging the tiers by ``(when, seq)`` therefore reproduces
+exactly the execution order of the original single-heap implementation.
+Entries are *recycled*: consumed batches return their lists to a bounded
+free pool (:data:`_ENTRY_POOL_CAP`) and the hot-path producers refill them
+in place, so steady-state scheduling allocates nothing.  The
+:attr:`EventList.entry_allocs` counter records pool misses (entries that
+had to be newly allocated) and feeds the ``allocs_per_event`` benchmark
+metric.  Lists, not tuples, because the containers mix recycled and fresh
+entries and Python refuses to order a list against a tuple.
+
+The ``obj``/``gen`` slots are overloaded by entry kind:
+
+* **cancellable entries** (``obj`` is an :class:`Event` or :class:`Timer`)
+  use ``gen`` as the generation stamp — a cancelled or re-armed entry is
+  recognised by a generation mismatch and skipped.  When cancelled entries
+  pile up, the scheduler eagerly evicts them (:meth:`EventList._compact`)
+  instead of letting them linger until they surface.
+* **raw entries** (``obj is None``) use ``gen`` as the *call arity*:
+  ``0`` → ``callback()`` with ``arg`` unused, ``1`` → ``callback(arg)``
+  with ``arg`` the single positional argument (the ``(callback, handle)``
+  pair of the columnar packet core — no argument tuple exists at all),
+  ``2`` → ``callback(*arg)`` with ``arg`` a tuple.
 
 Hot-path producers (queues, pipes, pacers) use :meth:`EventList.schedule_raw`
 / :meth:`EventList.schedule_raw_in` (or call :meth:`EventList._insert`
 directly from inside the ``sim``/``core`` packages), which enqueue a bare
 callback without allocating an :class:`Event` handle; use the classic
 :meth:`EventList.schedule` whenever the caller may need to cancel.
+
+While a batch drains, :attr:`EventList._cur_pos` / :attr:`EventList._spill_pos`
+are published *before every callback* and :attr:`EventList._ff_bound` folds
+the cursor slot's end, the active ``until`` bound and the stopped flag into
+one precomputed comparison.  Recurring-service callbacks (queue and
+switch drains) use these to *fast-forward*: when the next completion of the
+same service provably precedes every other pending event (strictly — a
+timestamp tie always falls back to the scheduler, which preserves the
+baseline tie order), the callback services it inline without scheduling at
+all.  Such batched completions advance :attr:`EventList.events_executed`
+so event counts stay comparable with the unbatched engine.
 
 Watchdog-style timers (pull-retry, sender keepalive) are created with
 ``shadow=True``: they draw their tie-breaking sequence numbers from a
@@ -46,17 +72,29 @@ cannot shift the ``(when, seq)`` order of any ordinary event — a liveness
 mechanism that never fires leaves a seeded run bit-for-bit identical.  At a
 timestamp tie a shadow entry always runs after every ordinary entry, which
 is itself deterministic.
+
+:meth:`EventList.run` disables the cyclic garbage collector for its
+duration (restoring the caller's setting on exit): the hot path allocates
+almost nothing once the entry pool and packet pool are warm, so gen-0
+collections are pure overhead, and refcounting still reclaims everything
+the simulator drops.
 """
 
 from __future__ import annotations
 
+import gc as _gc
 from bisect import insort as _insort
 from heapq import heapify as _heapify, heappop as _heappop, heappush as _heappush
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, List, Optional
 
 #: log2 of the wheel slot width: 2**23 ps ~ 8.4 us per slot (tuned on the
-#: benchmarks/perf incast: one slot comfortably covers an MTU serialization
-#: time and a propagation delay, so most inserts are O(1) appends)
+#: benchmarks/perf scenarios: one slot comfortably covers an MTU
+#: serialization time plus a propagation delay, so most inserts are O(1)
+#: appends, cursor advances stay rare, and — crucially for the batched
+#: drains — back-to-back jumbo completions (7.2 us apart at 10 Gbps) can
+#: land in the *same* slot and fast-forward instead of re-entering the
+#: scheduler.  Narrower slots were tried and lost: 4x the advance/sort
+#: calls and 4x the far-heap traffic for no batching at all at 9 kB MTU)
 _WHEEL_SHIFT = 23
 #: number of wheel slots; with the shift above the horizon is ~8.6 ms
 _WHEEL_SLOTS = 1024
@@ -81,6 +119,27 @@ _COMPACT_MAX_STALE = 1536
 #: shadow entry deterministically runs *after* every ordinary entry scheduled
 #: for the same picosecond.
 _SHADOW_SEQ_BASE = 1 << 48
+
+#: bound on the recycled-entry free pool.  Large enough to cover the working
+#: set of a dense slot batch, small enough that a pathological burst cannot
+#: pin unbounded garbage.
+_ENTRY_POOL_CAP = 8192
+
+
+def _fmt_args(args: tuple) -> str:
+    """Render an argument tuple for the debug reprs.
+
+    Flyweight packets are rendered through their facade ``__repr__`` (which
+    is freed-slot safe — see ``sim/packet.py``); anything whose repr raises
+    degrades to a placeholder instead of poisoning the debugging aid.
+    """
+    parts = []
+    for a in args:
+        try:
+            parts.append(repr(a))
+        except Exception:  # pragma: no cover - repr bugs in user callbacks
+            parts.append(f"<unprintable {type(a).__name__}>")
+    return ", ".join(parts)
 
 
 class Event:
@@ -116,9 +175,10 @@ class Event:
             if self._eventlist is not None:
                 self._eventlist._note_stale()
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+    def __repr__(self) -> str:
         state = "cancelled" if self.cancelled else ("done" if self._gen else "pending")
-        return f"Event(t={self.time}, {getattr(self.callback, '__name__', self.callback)}, {state})"
+        name = getattr(self.callback, "__name__", None) or repr(self.callback)
+        return f"Event(t={self.time}, {name}({_fmt_args(self.args)}), {state})"
 
 
 class Timer:
@@ -181,7 +241,18 @@ class Timer:
             seq = eventlist._shadow_sequence = eventlist._shadow_sequence + 1
         else:
             seq = eventlist._sequence = eventlist._sequence + 1
-        entry = (when, seq, self, gen, self.callback, self.args)
+        pool = eventlist._entry_pool
+        if pool:
+            entry = pool.pop()
+            entry[0] = when
+            entry[1] = seq
+            entry[2] = self
+            entry[3] = gen
+            entry[4] = self.callback
+            entry[5] = self.args
+        else:
+            eventlist.entry_allocs += 1
+            entry = [when, seq, self, gen, self.callback, self.args]
         delta = (when >> _WHEEL_SHIFT) - eventlist._cursor
         if delta <= 0:
             _insort(eventlist._cur_spill, entry)
@@ -204,13 +275,16 @@ class Timer:
             self._gen += 1
             self.eventlist._note_stale()
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+    def __repr__(self) -> str:
         state = f"armed@{self.when}" if self.armed else "idle"
-        return f"Timer({getattr(self.callback, '__name__', self.callback)}, {state})"
+        name = getattr(self.callback, "__name__", None) or repr(self.callback)
+        return f"Timer({name}({_fmt_args(self.args)}), {state})"
 
 
-#: entry layout shared by all tiers
-_Entry = Tuple[int, int, Optional[object], Any, Callable[..., Any], tuple]
+#: entry layout shared by all tiers: ``[when, seq, obj, gen, callback, arg]``
+#: (a recycled six-slot list; see the module docstring for the obj/gen
+#: overloading between cancellable and raw entries)
+_Entry = List[Any]
 
 
 class EventList:
@@ -230,6 +304,10 @@ class EventList:
         "_shadow_sequence",
         "_stopped",
         "_stale",
+        "_time_limit",
+        "_ff_bound",
+        "_entry_pool",
+        "entry_allocs",
         "events_executed",
     )
 
@@ -252,6 +330,22 @@ class EventList:
         self._shadow_sequence: int = _SHADOW_SEQ_BASE
         self._stopped: bool = False
         self._stale: int = 0
+        #: active ``until`` bound of the running :meth:`run` call; consulted
+        #: by fast-forwarding service callbacks so a batched completion never
+        #: runs past the requested stop time
+        self._time_limit: int = _NO_LIMIT
+        #: fast-forward bound: a batched completion at ``when`` may run
+        #: inline only if ``when < _ff_bound`` (and the drain frontiers
+        #: agree).  Folds the cursor slot's end, the active ``until`` limit
+        #: and the stopped flag into one precomputed comparison; maintained
+        #: at :meth:`run` entry, in :meth:`_advance` and by :meth:`stop`.
+        #: Zero while no run is active, so the guard can never pass.
+        self._ff_bound: int = 0
+        #: free pool of consumed six-slot entry lists (bounded)
+        self._entry_pool: List[_Entry] = []
+        #: entries newly allocated because the free pool was empty — the
+        #: allocation half of the ``allocs_per_event`` benchmark metric
+        self.entry_allocs: int = 0
         self.events_executed: int = 0
 
     def now(self) -> int:
@@ -272,10 +366,35 @@ class EventList:
 
         Callers inside the simulator's hot paths may invoke this directly
         with ``obj=None, gen=0`` (the :meth:`schedule_raw` contract) after
-        ensuring ``when >= now``.
+        ensuring ``when >= now``; the argument tuple is unpacked into the
+        arity encoding here.
         """
         seq = self._sequence = self._sequence + 1
-        entry = (when, seq, obj, gen, callback, args)
+        if obj is None:
+            n = len(args)
+            if n == 1:
+                gen = 1
+                arg: Any = args[0]
+            elif n == 0:
+                gen = 0
+                arg = None
+            else:
+                gen = 2
+                arg = args
+        else:
+            arg = args
+        pool = self._entry_pool
+        if pool:
+            entry = pool.pop()
+            entry[0] = when
+            entry[1] = seq
+            entry[2] = obj
+            entry[3] = gen
+            entry[4] = callback
+            entry[5] = arg
+        else:
+            self.entry_allocs += 1
+            entry = [when, seq, obj, gen, callback, arg]
         delta = (when >> _WHEEL_SHIFT) - self._cursor
         if delta <= 0:
             # lands in the slot being drained: merge into the sorted spill
@@ -355,17 +474,31 @@ class EventList:
         Only the future wheel buckets and the far heap are filtered: entries
         in the slot currently being drained are gone within one slot width of
         simulated time anyway, and skipping them lets the run loop keep plain
-        local views of its batch.
+        local views of its batch.  Evicted entry lists go back to the free
+        pool — they are provably unreachable by any other tier.
         """
+        pool = self._entry_pool
         wheel_removed = 0
         for bucket in self._wheel:
             if not bucket:
                 continue
-            kept = [e for e in bucket if e[2] is None or e[2]._gen == e[3]]
+            kept = []
+            for e in bucket:
+                obj = e[2]
+                if obj is None or obj._gen == e[3]:
+                    kept.append(e)
+                elif len(pool) < _ENTRY_POOL_CAP:
+                    pool.append(e)
             if len(kept) != len(bucket):
                 wheel_removed += len(bucket) - len(kept)
                 bucket[:] = kept
-        kept = [e for e in self._far if e[2] is None or e[2]._gen == e[3]]
+        kept = []
+        for e in self._far:
+            obj = e[2]
+            if obj is None or obj._gen == e[3]:
+                kept.append(e)
+            elif len(pool) < _ENTRY_POOL_CAP:
+                pool.append(e)
         if len(kept) != len(self._far):
             _heapify(kept)
             self._far = kept
@@ -377,6 +510,7 @@ class EventList:
     def stop(self) -> None:
         """Stop the run loop after the currently executing event returns."""
         self._stopped = True
+        self._ff_bound = 0  # no further fast-forwards either
 
     def pending_events(self) -> int:
         """Number of events still queued (cancelled entries may be counted
@@ -386,15 +520,30 @@ class EventList:
     def _advance(self) -> bool:
         """Move the cursor to the next slot holding entries and sort its batch.
 
-        Only called when the current batch and spill are exhausted.  Returns
-        False when no events remain anywhere.
+        Only called when the current batch and spill are exhausted, which is
+        the one point where every entry list in both is provably consumed —
+        so this is also where they are recycled into the free pool.  (They
+        must *not* be recycled at dispatch time: ``insort`` bisects over the
+        spill's consumed prefix, and a recycled-and-refilled entry there
+        would corrupt the ordering.)  Returns False when no events remain
+        anywhere.
         """
-        if self._cur_spill:
-            self._cur_spill.clear()  # fully consumed; drop the dead prefix
+        pool = self._entry_pool
+        spill = self._cur_spill
+        if spill:
+            pool.extend(spill)
+            spill.clear()  # fully consumed; drop the dead prefix
         self._spill_pos = 0
+        cur = self._cur
+        if cur:
+            pool.extend(cur)
+        if len(pool) > _ENTRY_POOL_CAP:
+            del pool[_ENTRY_POOL_CAP:]  # lazy cap: cheaper than per-batch room math
         far = self._far
         if self._wheel_count == 0:
             if not far:
+                self._cur = []
+                self._cur_pos = 0
                 return False
             self._cursor = far[0][0] >> _WHEEL_SHIFT
         else:
@@ -413,6 +562,8 @@ class EventList:
         batch = self._wheel[index]
         self._wheel[index] = []
         slot_end = (self._cursor + 1) << _WHEEL_SHIFT
+        limit = self._time_limit
+        self._ff_bound = slot_end if slot_end <= limit else limit + 1
         while far and far[0][0] < slot_end:
             batch.append(_heappop(far))
             self._wheel_count += 1
@@ -431,7 +582,10 @@ class EventList:
             strictly after this time are left in the queue and the clock is
             advanced to *until* when the run completes.
         max_events:
-            Optional safety limit on the number of callbacks executed.
+            Optional safety limit on the number of callbacks *dispatched by
+            the scheduler*.  Completions fast-forwarded inside a recurring
+            service callback count toward :attr:`events_executed` but not
+            toward this limit (they never re-enter the scheduler).
 
         Returns
         -------
@@ -440,73 +594,104 @@ class EventList:
         """
         self._stopped = False
         time_limit = _NO_LIMIT if until is None else until
+        self._time_limit = time_limit
+        # fast-forward bound for the (possibly resumed) cursor slot; kept
+        # current by _advance afterwards
+        slot_end = (self._cursor + 1) << _WHEEL_SHIFT
+        self._ff_bound = slot_end if slot_end <= time_limit else time_limit + 1
         budget = _NO_LIMIT if max_events is None else max_events
         executed = 0
-        counted = 0  # portion of `executed` already added to events_executed
+        counted = 0  # scheduler dispatches already added to events_executed
+        base_executed = self.events_executed  # fast-forwards add here directly
         spill = self._cur_spill
         done = False
-        while not done:
-            cur = self._cur
-            pos = self._cur_pos
-            size = len(cur)
-            spos = self._spill_pos
-            if pos >= size and spos >= len(spill):
-                if not self._advance():
-                    break
+        gc_was_enabled = _gc.isenabled()
+        if gc_was_enabled:
+            _gc.disable()
+        try:
+            while not done:
                 cur = self._cur
-                pos = 0
+                pos = self._cur_pos
                 size = len(cur)
-                spos = 0
-                if pos >= size and not spill:  # pragma: no cover - defensive
-                    break
-            try:
-                while True:
-                    # peek at the earliest of (sorted batch, sorted spill)
-                    if pos < size:
-                        entry = cur[pos]
-                        if spos < len(spill) and spill[spos] < entry:
+                spos = self._spill_pos
+                if pos >= size and spos >= len(spill):
+                    if not self._advance():
+                        break
+                    cur = self._cur
+                    pos = 0
+                    size = len(cur)
+                    spos = 0
+                    if pos >= size and not spill:  # pragma: no cover - defensive
+                        break
+                try:
+                    while True:
+                        # peek at the earliest of (sorted batch, sorted spill)
+                        if pos < size:
+                            entry = cur[pos]
+                            if spos < len(spill) and spill[spos] < entry:
+                                entry = spill[spos]
+                                spos += 1
+                            else:
+                                pos += 1
+                        elif spos < len(spill):
                             entry = spill[spos]
                             spos += 1
                         else:
-                            pos += 1
-                    elif spos < len(spill):
-                        entry = spill[spos]
-                        spos += 1
-                    else:
-                        break  # slot exhausted: advance to the next one
-                    when, _seq, obj, gen, callback, args = entry
-                    if when > time_limit:
-                        # not consumed after all: step back where it came from
-                        if pos and entry is cur[pos - 1]:
-                            pos -= 1
+                            break  # slot exhausted: advance to the next one
+                        # single unpack beats five subscripts on the hot path
+                        when, _seq, obj, gen, callback, arg = entry
+                        if when > time_limit:
+                            # not consumed after all: step back where it came from
+                            if pos and entry is cur[pos - 1]:
+                                pos -= 1
+                            else:
+                                spos -= 1
+                            done = True
+                            break
+                        self._wheel_count -= 1
+                        if obj is not None:
+                            if obj._gen != gen:
+                                if self._stale:
+                                    self._stale -= 1
+                                continue  # cancelled or superseded: dropped here
+                            obj._gen = gen + 1
+                            self._now = when
+                            # publish drain positions so service callbacks can
+                            # fast-forward against the true pending frontier
+                            self._cur_pos = pos
+                            self._spill_pos = spos
+                            if arg:
+                                callback(*arg)
+                            else:
+                                callback()
                         else:
-                            spos -= 1
-                        done = True
-                        break
-                    self._wheel_count -= 1
-                    if obj is not None:
-                        if obj._gen != gen:
-                            if self._stale:
-                                self._stale -= 1
-                            continue  # cancelled or superseded: dropped here
-                        obj._gen = gen + 1
-                    self._now = when
-                    if args:
-                        callback(*args)
-                    else:
-                        callback()
-                    executed += 1
-                    if self._stopped or executed >= budget:
-                        done = True
-                        break
-            finally:
-                # publish the drain positions and the executed count once per
-                # batch (zero-cost unless an exception unwinds mid-slot,
-                # where it prevents replays and keeps the count accurate)
-                self._cur_pos = pos
-                self._spill_pos = spos
-                self.events_executed += executed - counted
-                counted = executed
+                            self._now = when
+                            self._cur_pos = pos
+                            self._spill_pos = spos
+                            if gen == 1:
+                                callback(arg)
+                            elif gen == 0:
+                                callback()
+                            else:
+                                callback(*arg)
+                        executed += 1
+                        if self._stopped or executed >= budget:
+                            done = True
+                            break
+                finally:
+                    # publish the drain positions and the executed count once
+                    # per batch (zero-cost unless an exception unwinds
+                    # mid-slot, where it prevents replays and keeps the count
+                    # accurate)
+                    self._cur_pos = pos
+                    self._spill_pos = spos
+                    base_executed = self.events_executed  # may have grown via fast-forward
+                    self.events_executed = base_executed + (executed - counted)
+                    counted = executed
+        finally:
+            self._ff_bound = 0  # fast-forwards are only legal mid-run
+            if gc_was_enabled:
+                _gc.enable()
         if until is not None and not self._stopped and self._now < until:
             self._now = until
         return self._now

@@ -191,12 +191,14 @@ class BaseQueue(PacketSink):
         self._purge_backlog()
         if self._in_service is not None:
             self.stats.record_drop(self._in_service.size)
+            self._in_service.release()  # slot pool: dies with the link
             self._in_service = None  # _complete_service tolerates the gap
         self._paused = True  # directly: not a PFC pause, keep its stats clean
         stats = self.stats
 
         def _drop_on_dead_link(packet: Packet) -> None:
             stats.record_drop(packet.size)
+            packet.release()  # slot pool: dies with the link
 
         self.receive_packet = _drop_on_dead_link  # type: ignore[method-assign]
 
@@ -213,7 +215,9 @@ class BaseQueue(PacketSink):
         fifo = self._fifo
         stats = self.stats
         while fifo:
-            stats.record_drop(fifo.popleft().size)
+            packet = fifo.popleft()
+            stats.record_drop(packet.size)
+            packet.release()  # slot pool: dies with the link
         self.queue_bytes = 0
 
     # --- admission (subclass responsibility) ---------------------------------
@@ -271,7 +275,18 @@ class BaseQueue(PacketSink):
         eventlist = self.eventlist
         when = eventlist._now + delay
         seq = eventlist._sequence = eventlist._sequence + 1
-        entry = (when, seq, None, 0, self._complete_cb, ())
+        pool = eventlist._entry_pool
+        if pool:
+            entry = pool.pop()
+            entry[0] = when
+            entry[1] = seq
+            entry[2] = None
+            entry[3] = 0
+            entry[4] = self._complete_cb
+            entry[5] = None
+        else:
+            eventlist.entry_allocs += 1
+            entry = [when, seq, None, 0, self._complete_cb, None]
         delta = (when >> _WHEEL_SHIFT) - eventlist._cursor
         if delta <= 0:
             _insort(eventlist._cur_spill, entry)
@@ -301,7 +316,18 @@ class BaseQueue(PacketSink):
         eventlist = self.eventlist
         when = eventlist._now + delay
         seq = eventlist._sequence = eventlist._sequence + 1
-        entry = (when, seq, None, 0, self._complete_cb, ())
+        pool = eventlist._entry_pool
+        if pool:
+            entry = pool.pop()
+            entry[0] = when
+            entry[1] = seq
+            entry[2] = None
+            entry[3] = 0
+            entry[4] = self._complete_cb
+            entry[5] = None
+        else:
+            eventlist.entry_allocs += 1
+            entry = [when, seq, None, 0, self._complete_cb, None]
         delta = (when >> _WHEEL_SHIFT) - eventlist._cursor
         if delta <= 0:
             _insort(eventlist._cur_spill, entry)
@@ -313,50 +339,133 @@ class BaseQueue(PacketSink):
             _heappush(eventlist._far, entry)
 
     def _complete_service(self) -> None:
-        packet = self._in_service
-        self._in_service = None
-        self._busy = False
-        if packet is not None:
-            stats = self.stats
-            size = packet.size
-            stats.packets_forwarded += 1
-            stats.bytes_forwarded += size
-            if not packet.is_header_only:
-                stats.data_bytes_forwarded += size
-            if self._has_departed_hook:
-                self._packet_departed(packet)
-            # inlined send_to_next_hop (once per serialized packet); when the
-            # next element is a Pipe — as it is for every fabric link — the
-            # pipe hop is fused in as well: count it and schedule the
-            # delayed delivery at the element after the pipe directly,
-            # exactly as Pipe.receive_packet would
-            hop = packet.hop
-            elements = packet.route.elements
-            nxt = elements[hop]
-            if type(nxt) is Pipe:
-                nxt.packets_carried += 1
-                nxt.bytes_carried += size
-                packet.hop = hop + 2
-                eventlist = self.eventlist
-                when = eventlist._now + nxt.delay_ps
-                seq = eventlist._sequence = eventlist._sequence + 1
-                entry = (when, seq, None, 0, elements[hop + 1].receive_packet, (packet,))
-                delta = (when >> _WHEEL_SHIFT) - eventlist._cursor
-                if delta <= 0:
-                    _insort(eventlist._cur_spill, entry)
-                    eventlist._wheel_count += 1
-                elif delta < _WHEEL_SLOTS:
-                    eventlist._wheel[(when >> _WHEEL_SHIFT) & _WHEEL_MASK].append(entry)
-                    eventlist._wheel_count += 1
+        # Batched drain: each loop iteration is one service completion.  The
+        # first is the one the scheduler dispatched; subsequent iterations are
+        # *fast-forwarded* completions — when the next packet's completion
+        # time provably precedes every other pending event (strictly: a
+        # timestamp tie falls back to the scheduler, which preserves the
+        # baseline tie-breaking order), the drain advances the clock and
+        # services it inline without a scheduler round-trip.
+        eventlist = self.eventlist
+        while True:
+            packet = self._in_service
+            self._in_service = None
+            self._busy = False
+            if packet is not None:
+                stats = self.stats
+                size = packet.size
+                stats.packets_forwarded += 1
+                stats.bytes_forwarded += size
+                if not packet.is_header_only:
+                    stats.data_bytes_forwarded += size
+                if self._has_departed_hook:
+                    self._packet_departed(packet)
+                # inlined send_to_next_hop (once per serialized packet); when
+                # the next element is a Pipe — as it is for every fabric
+                # link — the pipe hop is fused in as well: count it and
+                # schedule the delayed delivery at the element after the pipe
+                # directly, exactly as Pipe.receive_packet would
+                hop = packet.hop
+                elements = packet.route.elements
+                nxt = elements[hop]
+                if type(nxt) is Pipe:
+                    nxt.packets_carried += 1
+                    nxt.bytes_carried += size
+                    packet.hop = hop + 2
+                    when = eventlist._now + nxt.delay_ps
+                    seq = eventlist._sequence = eventlist._sequence + 1
+                    pool = eventlist._entry_pool
+                    if pool:
+                        entry = pool.pop()
+                        entry[0] = when
+                        entry[1] = seq
+                        entry[2] = None
+                        entry[3] = 1
+                        entry[4] = elements[hop + 1].receive_packet
+                        entry[5] = packet
+                    else:
+                        eventlist.entry_allocs += 1
+                        entry = [when, seq, None, 1,
+                                 elements[hop + 1].receive_packet, packet]
+                    delta = (when >> _WHEEL_SHIFT) - eventlist._cursor
+                    if delta <= 0:
+                        _insort(eventlist._cur_spill, entry)
+                        eventlist._wheel_count += 1
+                    elif delta < _WHEEL_SLOTS:
+                        eventlist._wheel[(when >> _WHEEL_SHIFT) & _WHEEL_MASK].append(entry)
+                        eventlist._wheel_count += 1
+                    else:
+                        _heappush(eventlist._far, entry)
                 else:
-                    _heappush(eventlist._far, entry)
+                    packet.hop = hop + 1
+                    nxt.receive_packet(packet)
+            # start the next service; the re-check of _busy/_paused is not
+            # redundant — forwarding above can re-enter this queue (it may
+            # start service for a newly enqueued packet) or pause it via PFC
+            if self._busy or self._paused:
+                return
+            if self._plain_fifo:
+                fifo = self._fifo
+                if not fifo:
+                    return
+                packet = fifo.popleft()
+                self.queue_bytes -= packet.size
             else:
-                packet.hop = hop + 1
-                nxt.receive_packet(packet)
-        # tail-call the service starter; the re-check of _busy/_paused inside
-        # it is not redundant — forwarding above can re-enter this queue (it
-        # may start service for a newly enqueued packet) or pause it via PFC
-        self._maybe_start_service()
+                packet = self._select_next()
+                if packet is None:
+                    return
+            self._busy = True
+            self._in_service = packet
+            size = packet.size
+            try:
+                delay = self._ser_cache[size]
+            except KeyError:
+                delay = self._ser_cache[size] = (
+                    size * _BITS_PS + self._rate_half
+                ) // self.service_rate_bps
+            if self.serialization_jitter_ps:
+                delay += self._jitter_rng.randint(0, self.serialization_jitter_ps)
+            when = eventlist._now + delay
+            # fast-forward guard: the completion may run inline only if no
+            # other pending event is due at or before `when` — wheel buckets
+            # and the far heap are entirely beyond the cursor slot's end
+            # (folded into _ff_bound with the until-limit and stopped flag),
+            # and the published drain positions expose the batch/spill
+            # frontier
+            if when < eventlist._ff_bound:
+                cur = eventlist._cur
+                pos = eventlist._cur_pos
+                if pos >= len(cur) or cur[pos][0] > when:
+                    spill = eventlist._cur_spill
+                    spos = eventlist._spill_pos
+                    if spos >= len(spill) or spill[spos][0] > when:
+                        eventlist._now = when
+                        eventlist.events_executed += 1
+                        continue
+            # something intervenes (or the run is bounded): schedule normally
+            seq = eventlist._sequence = eventlist._sequence + 1
+            pool = eventlist._entry_pool
+            if pool:
+                entry = pool.pop()
+                entry[0] = when
+                entry[1] = seq
+                entry[2] = None
+                entry[3] = 0
+                entry[4] = self._complete_cb
+                entry[5] = None
+            else:
+                eventlist.entry_allocs += 1
+                entry = [when, seq, None, 0, self._complete_cb, None]
+            delta = (when >> _WHEEL_SHIFT) - eventlist._cursor
+            if delta <= 0:
+                _insort(eventlist._cur_spill, entry)
+                eventlist._wheel_count += 1
+            elif delta < _WHEEL_SLOTS:
+                eventlist._wheel[(when >> _WHEEL_SHIFT) & _WHEEL_MASK].append(entry)
+                eventlist._wheel_count += 1
+            else:
+                _heappush(eventlist._far, entry)
+            return
 
     def _packet_departed(self, packet: Packet) -> None:
         """Hook called just before a packet is forwarded (PFC bookkeeping)."""
@@ -389,6 +498,7 @@ class DropTailQueue(BaseQueue):
         if self.queue_bytes + size > self.max_queue_bytes:
             self.stats.record_drop(size)
             self._notify_drop(packet)
+            packet.release()  # slot pool: a dropped packet dies here
             return
         if not self._busy and not self._fifo and not self._paused:
             # idle port: serve immediately, skipping the FIFO round-trip.
@@ -439,6 +549,7 @@ class TappedQueue(DropTailQueue):
             self.faults_dropped += 1
             self.stats.record_drop(packet.size)
             self._notify_drop(packet)
+            packet.release()  # slot pool: a dropped packet dies here
             return
         if verdict == "delay":
             self.faults_delayed += 1
