@@ -50,7 +50,13 @@ SCHEMA = "repro.perf_history"
 #:   numbers).  Optional means exactly that: a v2 record without them is
 #:   valid, and a v1 record (which cannot have them) reads unchanged — the
 #:   reader accepts every version ``<= SCHEMA_VERSION``.
-SCHEMA_VERSION = 2
+#: * **v3** — adds the optional sharded-run metrics
+#:   ``aggregate_events_per_second`` (total events over the slowest shard's
+#:   CPU-busy seconds — the parallel-capacity figure ``shard_scale`` is
+#:   gated on), ``shards``, ``windows``, ``boundary_packets`` and
+#:   ``max_shard_busy_seconds``.  Present only on scenarios run through the
+#:   shard harness; single-process captures are unchanged.
+SCHEMA_VERSION = 3
 
 #: a lock older than this is assumed to belong to a dead writer
 _LOCK_STALE_SECONDS = 30.0

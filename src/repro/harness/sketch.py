@@ -1,0 +1,261 @@
+"""Streaming percentile sketches for bounded-memory metrics.
+
+A k=32 fat-tree run pushes millions of flows; materializing every slowdown
+sample for :func:`repro.harness.metrics.binned_slowdown_summary` would make
+memory grow with the run.  :class:`QuantileSketch` keeps log-spaced value
+buckets instead (the DDSketch construction): every recorded value lands in
+the bucket whose representative is within a fixed *relative* accuracy
+``alpha`` of it, so any reported quantile is within ``alpha`` (relative) of
+an order statistic at the queried rank, in O(log(max/min)/alpha) memory
+independent of the stream length.
+
+Two properties matter for sharded runs and are pinned by
+``tests/shard/test_sketch.py``:
+
+* **Rank-error bound** — ``quantile(q)`` lies within relative ``alpha`` of
+  the exact order statistic that anchors
+  :func:`repro.harness.metrics.percentile` at the same rank.
+* **Exact merge** — bucket counts are plain integers, so
+  ``merge(a, b)`` equals the sketch of the concatenated stream *exactly*
+  (not approximately): per-shard sketches can be merged in any order
+  without affecting the reported numbers.
+
+:class:`StreamingSlowdownBins` stacks one sketch per size bin to reproduce
+the ``binned_slowdown_summary`` reporting shape (``count``/``p50``/``p99``/
+``p999``/``mean``/``max`` per bin, ``{"count": 0}`` when empty) with exact
+``count``/``mean``/``max`` and sketched percentiles.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.harness.metrics import (
+    DEFAULT_SLOWDOWN_BINS,
+    flow_slowdown,
+    slowdown_bin,
+)
+from repro.sim.logger import FlowRecord
+
+__all__ = ["QuantileSketch", "StreamingSlowdownBins"]
+
+
+class QuantileSketch:
+    """A mergeable quantile sketch with relative-accuracy guarantee *alpha*.
+
+    Non-negative values only (slowdowns, latencies, sizes).  Value ``x > 0``
+    maps to bucket ``ceil(log_gamma(x))`` with ``gamma = (1+alpha)/(1-alpha)``;
+    the bucket representative ``2*gamma^i/(gamma+1)`` is within relative
+    *alpha* of every value in the bucket.  Zeros get a dedicated bucket.
+    """
+
+    __slots__ = (
+        "alpha", "_gamma", "_log_gamma", "count", "total",
+        "zero_count", "buckets", "_max", "_min",
+    )
+
+    def __init__(self, alpha: float = 0.005) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        self.alpha = alpha
+        self._gamma = (1.0 + alpha) / (1.0 - alpha)
+        self._log_gamma = math.log(self._gamma)
+        self.count = 0
+        self.total = 0.0
+        self.zero_count = 0
+        self.buckets: Dict[int, int] = {}
+        self._max: Optional[float] = None
+        self._min: Optional[float] = None
+
+    # --- recording ------------------------------------------------------------------
+
+    def add(self, value: float) -> None:
+        if value < 0.0:
+            raise ValueError(f"sketch values must be non-negative, got {value}")
+        self.count += 1
+        self.total += value
+        if self._max is None or value > self._max:
+            self._max = value
+        if self._min is None or value < self._min:
+            self._min = value
+        if value == 0.0:
+            self.zero_count += 1
+            return
+        index = math.ceil(math.log(value) / self._log_gamma)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    # --- queries --------------------------------------------------------------------
+
+    @property
+    def max(self) -> float:
+        if self._max is None:
+            raise ValueError("empty sketch has no max")
+        return self._max
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError("empty sketch has no mean")
+        return self.total / self.count
+
+    def quantile(self, fraction: float) -> float:
+        """A value within relative *alpha* of the order statistic at rank
+        ``floor(fraction * (count - 1))`` — the lower interpolation anchor
+        of :func:`repro.harness.metrics.percentile` at the same fraction.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        if self.count == 0:
+            raise ValueError("cannot take a quantile of an empty sketch")
+        rank = int(fraction * (self.count - 1))  # 0-based target rank
+        if rank < self.zero_count:
+            return 0.0
+        cumulative = self.zero_count
+        gamma = self._gamma
+        for index in sorted(self.buckets):
+            cumulative += self.buckets[index]
+            if cumulative > rank:
+                return 2.0 * gamma ** index / (gamma + 1.0)
+        raise AssertionError("bucket counts do not cover the recorded count")
+
+    # --- merge / serialization --------------------------------------------------------
+
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold *other* into this sketch (exact: integer bucket addition)."""
+        if other.alpha != self.alpha:
+            raise ValueError(
+                f"cannot merge sketches with different alphas "
+                f"({self.alpha} vs {other.alpha})"
+            )
+        self.count += other.count
+        self.total += other.total
+        self.zero_count += other.zero_count
+        for index, bucket_count in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + bucket_count
+        if other._max is not None and (self._max is None or other._max > self._max):
+            self._max = other._max
+        if other._min is not None and (self._min is None or other._min < self._min):
+            self._min = other._min
+
+    def state(self) -> dict:
+        """Codec-friendly snapshot (sorted bucket pairs; JSON-stable)."""
+        return {
+            "alpha": self.alpha,
+            "count": self.count,
+            "total": self.total,
+            "zero_count": self.zero_count,
+            "buckets": sorted(self.buckets.items()),
+            "max": self._max,
+            "min": self._min,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "QuantileSketch":
+        sketch = cls(alpha=state["alpha"])
+        sketch.count = state["count"]
+        sketch.total = state["total"]
+        sketch.zero_count = state["zero_count"]
+        sketch.buckets = {int(index): int(n) for index, n in state["buckets"]}
+        sketch._max = state["max"]
+        sketch._min = state["min"]
+        return sketch
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuantileSketch):
+            return NotImplemented
+        return self.state() == other.state()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QuantileSketch(alpha={self.alpha}, count={self.count}, "
+            f"buckets={len(self.buckets)})"
+        )
+
+
+class StreamingSlowdownBins:
+    """Online replacement for ``binned_slowdown_summary``'s sample lists.
+
+    One :class:`QuantileSketch` per size bin plus one for the whole
+    population; :meth:`summary` reproduces the exact reporting shape of
+    :func:`repro.harness.metrics.binned_slowdown_summary` with exact
+    ``count``/``mean``/``max`` and sketched ``p50``/``p99``/``p999``.
+    Per-shard instances merge exactly, so a sharded run reports the same
+    numbers regardless of how flows were split across workers.
+    """
+
+    def __init__(
+        self,
+        bins: Sequence[Tuple[str, Optional[int]]] = DEFAULT_SLOWDOWN_BINS,
+        alpha: float = 0.005,
+    ) -> None:
+        self.bins = tuple(bins)
+        self.alpha = alpha
+        self._sketches: Dict[str, QuantileSketch] = {"all": QuantileSketch(alpha)}
+        for label, _upper in self.bins:
+            self._sketches[label] = QuantileSketch(alpha)
+
+    def add(self, size_bytes: int, slowdown: float) -> None:
+        self._sketches["all"].add(slowdown)
+        self._sketches[slowdown_bin(size_bytes, self.bins)].add(slowdown)
+
+    def add_record(
+        self,
+        record: FlowRecord,
+        link_rate_bps: int,
+        mtu_bytes: int,
+        header_bytes: int,
+        base_rtt_ps: int = 0,
+    ) -> bool:
+        """Record one flow if completed; returns whether it was counted."""
+        if not record.completed:
+            return False
+        value = flow_slowdown(
+            record, link_rate_bps, mtu_bytes, header_bytes, base_rtt_ps
+        )
+        self.add(record.flow_size_bytes, value)
+        return True
+
+    def merge(self, other: "StreamingSlowdownBins") -> None:
+        if other.bins != self.bins:
+            raise ValueError("cannot merge summaries with different bins")
+        for label, sketch in other._sketches.items():
+            self._sketches[label].merge(sketch)
+
+    def summary(self) -> Dict[str, dict]:
+        out: Dict[str, dict] = {}
+        for label in ("all", *[label for label, _upper in self.bins]):
+            sketch = self._sketches[label]
+            if sketch.count == 0:
+                out[label] = {"count": 0}
+            else:
+                out[label] = {
+                    "count": sketch.count,
+                    "p50": sketch.quantile(0.5),
+                    "p99": sketch.quantile(0.99),
+                    "p999": sketch.quantile(0.999),
+                    "mean": sketch.mean,
+                    "max": sketch.max,
+                }
+        return out
+
+    def state(self) -> dict:
+        return {
+            "bins": [[label, upper] for label, upper in self.bins],
+            "alpha": self.alpha,
+            "sketches": {
+                label: sketch.state() for label, sketch in self._sketches.items()
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "StreamingSlowdownBins":
+        bins = tuple((label, upper) for label, upper in state["bins"])
+        summary = cls(bins=bins, alpha=state["alpha"])
+        for label, sketch_state in state["sketches"].items():
+            summary._sketches[label] = QuantileSketch.from_state(sketch_state)
+        return summary

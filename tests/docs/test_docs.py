@@ -60,6 +60,20 @@ def test_rendered_figures_are_documented_and_wired():
     assert check_docs.check_rendered_figures() == []
 
 
+def test_sharded_docs_are_complete():
+    assert check_docs.check_sharded_docs() == []
+
+
+def test_sharded_check_catches_an_undocumented_scenario(monkeypatch):
+    from repro.harness import shard
+
+    monkeypatch.setitem(shard.SHARD_SCENARIOS, "torus_unwritten", lambda: None)
+    problems = check_docs.check_sharded_docs()
+    assert any(
+        "docs/experiments.md" in p and "torus_unwritten" in p for p in problems
+    )
+
+
 def test_figure_check_catches_an_undocumented_or_dangling_figure(monkeypatch):
     """A registered render figure must be in the handbook and name a real
     family — both failure modes must be caught, not discovered at render

@@ -1,0 +1,47 @@
+"""The ``shard`` CLI subcommand: argument handling and the reference diff."""
+
+from __future__ import annotations
+
+from repro import cli
+
+FAST = ["--set", "pairs=2", "--set", "flows_per_pair=1",
+        "--set", "flow_size_bytes=150000"]
+
+
+class TestShardSubcommand:
+    def test_run_prints_digest_and_summary(self, capsys) -> None:
+        code = cli.main(["shard", "pairs", "--shards", "2", *FAST])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "digest: " in out
+        assert "2 shard(s)" in out
+        assert "ev/s aggregate" in out
+        assert "slowdown[all]" in out
+
+    def test_reference_flag_verifies_digest(self, capsys) -> None:
+        code = cli.main(["shard", "pairs", "--shards", "2", "--reference", *FAST])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "reference digest matches" in out
+
+    def test_unknown_scenario_is_usage_error(self, capsys) -> None:
+        code = cli.main(["shard", "nonsense"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "scenarios: pairs, fattree" in err
+
+    def test_unknown_parameter_is_usage_error(self, capsys) -> None:
+        code = cli.main(["shard", "pairs", "--set", "bogus=1"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown parameter(s) for pairs: bogus" in err
+
+    def test_multi_value_set_is_usage_error(self, capsys) -> None:
+        code = cli.main(["shard", "pairs", "--set", "pairs=2,4"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "single value per --set key" in err
+
+    def test_shard_listed_in_catalogue(self, capsys) -> None:
+        assert cli.main(["list"]) == 0
+        assert "shard" in capsys.readouterr().out

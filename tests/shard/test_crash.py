@@ -1,0 +1,57 @@
+"""Crash robustness: a dead worker must fail the run loudly, not hang it.
+
+``run_sharded`` exposes fault-injection hooks (`_fail_shard` /
+`_fail_window`) that make the chosen worker ``os._exit(1)`` mid-window,
+exactly as if it had been OOM-killed.  The driver must detect the dead
+process via its sentinel and raise :class:`ShardFailedError` carrying the
+shard id and the start timestamp of the window in flight.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.shard import ShardFailedError, run_sharded
+
+FATTREE_KW = {"flow_size_bytes": 60_000}
+
+
+class TestWorkerCrash:
+    def test_crash_mid_window_raises_with_context(self) -> None:
+        with pytest.raises(ShardFailedError) as excinfo:
+            run_sharded(
+                "fattree", 2, seed=1, scenario_kwargs=FATTREE_KW,
+                _fail_shard=0, _fail_window=2,
+            )
+        error = excinfo.value
+        assert error.shard_id == 0
+        # window 2 starts two lookaheads into the run
+        assert error.window_start_ps > 0
+        assert "shard 0" in str(error)
+        assert "window starting at" in str(error)
+
+    def test_crash_in_other_shard_attributes_correctly(self) -> None:
+        with pytest.raises(ShardFailedError) as excinfo:
+            run_sharded(
+                "fattree", 2, seed=1, scenario_kwargs=FATTREE_KW,
+                _fail_shard=1, _fail_window=1,
+            )
+        assert excinfo.value.shard_id == 1
+
+    def test_crash_during_first_window(self) -> None:
+        with pytest.raises(ShardFailedError) as excinfo:
+            run_sharded(
+                "fattree", 2, seed=1, scenario_kwargs=FATTREE_KW,
+                _fail_shard=0, _fail_window=0,
+            )
+        assert excinfo.value.shard_id == 0
+
+    def test_healthy_run_after_crashed_run(self) -> None:
+        """A crashed run leaves no stuck children; the next run is clean."""
+        with pytest.raises(ShardFailedError):
+            run_sharded(
+                "fattree", 2, seed=1, scenario_kwargs=FATTREE_KW,
+                _fail_shard=0, _fail_window=1,
+            )
+        result = run_sharded("fattree", 2, seed=1, scenario_kwargs=FATTREE_KW)
+        assert result.completed_flows == result.total_flows

@@ -1,0 +1,257 @@
+"""Property tests for the streaming percentile sketch.
+
+Two guarantees are load-bearing for sharded metrics and pinned here with
+hypothesis:
+
+* **Rank-error bound** — for any stream, ``quantile(q)`` is within
+  relative ``alpha`` of the exact order statistic at rank
+  ``int(q * (n - 1))``, the lower interpolation anchor of
+  :func:`repro.harness.metrics.percentile` at the same fraction.
+* **Exact merge** — ``merge(a, b)`` equals the sketch of the concatenated
+  stream (bucket counts are integers, so merging per-shard sketches in any
+  order cannot change a reported percentile).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.harness.metrics import (
+    binned_slowdown_summary,
+    flow_slowdown,
+    percentile,
+    slowdown_bin,
+)
+from repro.harness.sketch import QuantileSketch, StreamingSlowdownBins
+from repro.sim.logger import FlowRecord
+
+ALPHA = 0.005
+
+#: positive magnitudes spanning nine decades — adversarial for log-bucketing
+#: (values straddling bucket boundaries), safe from float overflow
+positive_values = st.floats(
+    min_value=1e-3, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+#: streams may also contain exact zeros (the dedicated zero bucket)
+stream_values = st.one_of(st.just(0.0), positive_values)
+
+#: integer-valued streams: float addition over them is exact, so merged
+#: totals match concatenated-stream totals bit-for-bit
+integer_values = st.integers(min_value=0, max_value=2**40).map(float)
+
+
+def exact_rank_anchor(values, fraction):
+    """The order statistic the sketch quantile must approximate."""
+    return sorted(values)[int(fraction * (len(values) - 1))]
+
+
+class TestRankErrorBound:
+    @given(
+        values=st.lists(stream_values, min_size=1, max_size=400),
+        fraction=st.sampled_from([0.0, 0.5, 0.9, 0.99, 0.999, 1.0]),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_quantile_within_alpha_of_order_statistic(self, values, fraction):
+        sketch = QuantileSketch(alpha=ALPHA)
+        sketch.extend(values)
+        estimate = sketch.quantile(fraction)
+        exact = exact_rank_anchor(values, fraction)
+        if exact == 0.0:
+            assert estimate == 0.0
+        else:
+            assert abs(estimate - exact) <= ALPHA * exact * (1 + 1e-9)
+
+    @given(values=st.lists(positive_values, min_size=2, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_median_tracks_metrics_percentile(self, values):
+        """Against the production percentile: the sketch's p50 must sit
+        within alpha of at least the interpolation anchors around it."""
+        sketch = QuantileSketch(alpha=ALPHA)
+        sketch.extend(values)
+        estimate = sketch.quantile(0.5)
+        exact = percentile(values, 0.5)
+        ordered = sorted(values)
+        low = ordered[int(0.5 * (len(values) - 1))]
+        high = ordered[min(int(0.5 * (len(values) - 1)) + 1, len(values) - 1)]
+        # interpolated percentile lies in [low, high]; the sketch answers
+        # for the lower anchor, so it must be within alpha of that range
+        assert low * (1 - ALPHA) <= estimate <= high * (1 + ALPHA)
+        assert min(low, exact) * (1 - ALPHA) <= estimate
+
+    def test_adversarial_bucket_boundary_stream(self):
+        """Values planted exactly at bucket representatives and boundaries."""
+        sketch = QuantileSketch(alpha=ALPHA)
+        gamma = (1 + ALPHA) / (1 - ALPHA)
+        values = []
+        for i in range(-50, 51):
+            values.append(gamma ** i)            # bucket boundary
+            values.append(2 * gamma ** i / (gamma + 1))  # representative
+        sketch.extend(values)
+        for fraction in (0.0, 0.25, 0.5, 0.75, 0.99, 1.0):
+            exact = exact_rank_anchor(values, fraction)
+            assert abs(sketch.quantile(fraction) - exact) <= ALPHA * exact * (1 + 1e-9)
+
+    def test_seeded_lognormal_stream(self):
+        rng = random.Random(7)
+        values = [math.exp(rng.gauss(1.0, 2.0)) for _ in range(20_000)]
+        sketch = QuantileSketch(alpha=ALPHA)
+        sketch.extend(values)
+        for fraction in (0.5, 0.9, 0.99, 0.999):
+            exact = exact_rank_anchor(values, fraction)
+            assert abs(sketch.quantile(fraction) - exact) <= ALPHA * exact * (1 + 1e-9)
+
+
+class TestExactMerge:
+    @given(
+        left=st.lists(integer_values, max_size=150),
+        right=st.lists(integer_values, max_size=150),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_merge_equals_concatenated_stream(self, left, right):
+        merged = QuantileSketch(alpha=ALPHA)
+        merged.extend(left)
+        other = QuantileSketch(alpha=ALPHA)
+        other.extend(right)
+        merged.merge(other)
+
+        concatenated = QuantileSketch(alpha=ALPHA)
+        concatenated.extend(left + right)
+        assert merged == concatenated
+
+    @given(
+        parts=st.lists(
+            st.lists(stream_values, max_size=60), min_size=2, max_size=5
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_merge_order_never_changes_quantiles(self, parts):
+        """Float totals may differ in the last ulp across merge orders, but
+        counts, buckets and therefore every quantile are exactly equal."""
+        sketches = []
+        for part in parts:
+            sketch = QuantileSketch(alpha=ALPHA)
+            sketch.extend(part)
+            sketches.append(sketch)
+
+        forward = QuantileSketch(alpha=ALPHA)
+        for sketch in sketches:
+            forward.merge(sketch)
+        backward = QuantileSketch(alpha=ALPHA)
+        for sketch in reversed(sketches):
+            backward.merge(sketch)
+
+        assert forward.buckets == backward.buckets
+        assert forward.count == backward.count
+        assert forward.zero_count == backward.zero_count
+        if forward.count:
+            for fraction in (0.5, 0.99, 0.999):
+                assert forward.quantile(fraction) == backward.quantile(fraction)
+
+    def test_merge_rejects_mismatched_alpha(self):
+        with pytest.raises(ValueError, match="alpha"):
+            QuantileSketch(alpha=0.005).merge(QuantileSketch(alpha=0.01))
+
+
+class TestStatefulRoundTrip:
+    @given(values=st.lists(stream_values, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_state_round_trip(self, values):
+        sketch = QuantileSketch(alpha=ALPHA)
+        sketch.extend(values)
+        assert QuantileSketch.from_state(sketch.state()) == sketch
+
+    def test_empty_sketch_raises(self):
+        sketch = QuantileSketch()
+        with pytest.raises(ValueError):
+            sketch.quantile(0.5)
+        with pytest.raises(ValueError):
+            _ = sketch.mean
+        with pytest.raises(ValueError):
+            _ = sketch.max
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            QuantileSketch().add(-1.0)
+
+
+def _record(flow_id, size, start, finish):
+    record = FlowRecord(flow_id=flow_id, src=0, dst=1, flow_size_bytes=size)
+    record.start_time_ps = start
+    record.finish_time_ps = finish
+    record.bytes_delivered = size
+    return record
+
+
+class TestStreamingSlowdownBins:
+    def test_matches_binned_summary_shape_and_counts(self):
+        rng = random.Random(3)
+        records = []
+        for flow_id in range(300):
+            size = rng.choice([20_000, 500_000, 3_000_000])
+            start = rng.randrange(10**9)
+            finish = start + rng.randrange(10**7, 10**9)
+            records.append(_record(flow_id, size, start, finish))
+
+        link_rate, mtu, header = 10**10, 9000, 64
+        exact = binned_slowdown_summary(records, link_rate, mtu, header)
+        streaming = StreamingSlowdownBins()
+        samples = {label: [] for label in exact}
+        for record in records:
+            assert streaming.add_record(record, link_rate, mtu, header)
+            value = flow_slowdown(record, link_rate, mtu, header)
+            samples["all"].append(value)
+            samples[slowdown_bin(record.flow_size_bytes)].append(value)
+        sketched = streaming.summary()
+
+        assert set(sketched) == set(exact)
+        for label, stats in exact.items():
+            assert sketched[label]["count"] == stats["count"]
+            if stats["count"] == 0:
+                assert sketched[label] == {"count": 0}
+                continue
+            assert sketched[label]["mean"] == pytest.approx(stats["mean"])
+            assert sketched[label]["max"] == stats["max"]
+            for key, fraction in (("p50", 0.5), ("p99", 0.99), ("p999", 0.999)):
+                # the sketch answers for the lower interpolation anchor of
+                # the production percentile, within relative alpha
+                anchor = exact_rank_anchor(samples[label], fraction)
+                assert sketched[label][key] == pytest.approx(
+                    anchor, rel=ALPHA * (1 + 1e-9)
+                )
+
+    def test_incomplete_flow_not_counted(self):
+        streaming = StreamingSlowdownBins()
+        record = FlowRecord(flow_id=1, src=0, dst=1, flow_size_bytes=100)
+        assert not streaming.add_record(record, 10**10, 9000, 64)
+        assert streaming.summary()["all"] == {"count": 0}
+
+    def test_merge_matches_single_stream(self):
+        rng = random.Random(11)
+        samples = [
+            (rng.choice([10_000, 800_000]), rng.uniform(1.0, 40.0))
+            for _ in range(500)
+        ]
+        whole = StreamingSlowdownBins()
+        left, right = StreamingSlowdownBins(), StreamingSlowdownBins()
+        for index, (size, slowdown) in enumerate(samples):
+            whole.add(size, slowdown)
+            (left if index % 2 else right).add(size, slowdown)
+        left.merge(right)
+        whole_summary, merged_summary = whole.summary(), left.summary()
+        for label in whole_summary:
+            if whole_summary[label]["count"] == 0:
+                assert merged_summary[label] == {"count": 0}
+                continue
+            for key in ("count", "p50", "p99", "p999", "max"):
+                assert merged_summary[label][key] == whole_summary[label][key]
+
+    def test_state_round_trip(self):
+        streaming = StreamingSlowdownBins()
+        streaming.add(10_000, 2.5)
+        streaming.add(2_000_000, 7.0)
+        restored = StreamingSlowdownBins.from_state(streaming.state())
+        assert restored.summary() == streaming.summary()

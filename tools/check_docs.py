@@ -190,12 +190,63 @@ def check_rendered_figures() -> List[str]:
     return problems
 
 
+def check_sharded_docs() -> List[str]:
+    """The sharded-simulation surface must stay documented.
+
+    Every scenario in ``repro.harness.shard.SHARD_SCENARIOS`` must appear
+    as a backticked span in the experiments handbook, the handbook must
+    document the ``shard`` CLI subcommand, and the architecture document
+    must keep its "Sharded simulation" section naming the two rules the
+    conformance suite enforces (the lookahead invariant and the
+    digest-merge rule).
+    """
+    sys.path.insert(0, os.path.join(ROOT, "src"))
+    try:
+        from repro.harness.shard import SHARD_SCENARIOS
+    except Exception as error:  # pragma: no cover - import environment issue
+        return [f"could not import repro.harness.shard to verify its docs: {error}"]
+    problems = []
+    handbook = os.path.join(ROOT, "docs", "experiments.md")
+    architecture = os.path.join(ROOT, "docs", "architecture.md")
+    if not os.path.exists(handbook):
+        return ["docs/experiments.md is missing"]
+    with open(handbook, "r", encoding="utf-8") as fh:
+        handbook_text = fh.read()
+    if "`shard`" not in handbook_text:
+        problems.append(
+            "docs/experiments.md: the `shard` CLI subcommand is undocumented"
+        )
+    for name in SHARD_SCENARIOS:
+        if f"`{name}`" not in handbook_text:
+            problems.append(
+                f"docs/experiments.md: shard scenario {name!r} missing from "
+                f"the handbook"
+            )
+    if not os.path.exists(architecture):
+        return problems + ["docs/architecture.md is missing"]
+    with open(architecture, "r", encoding="utf-8") as fh:
+        architecture_text = fh.read()
+    if "## Sharded simulation" not in architecture_text:
+        problems.append(
+            "docs/architecture.md: the 'Sharded simulation' section is missing"
+        )
+    else:
+        for phrase in ("lookahead", "digest-merge"):
+            if phrase not in architecture_text:
+                problems.append(
+                    f"docs/architecture.md: sharded-simulation section no "
+                    f"longer explains the {phrase} rule"
+                )
+    return problems
+
+
 def main() -> int:
     problems = (
         check_links()
         + check_figure_index()
         + check_experiments_handbook()
         + check_rendered_figures()
+        + check_sharded_docs()
     )
     for problem in problems:
         print(problem, file=sys.stderr)
